@@ -1,0 +1,112 @@
+#include "bench_util.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "workload/benchmark_factory.hh"
+
+namespace mcd::bench
+{
+
+RunnerConfig
+standardConfig()
+{
+    RunnerConfig config;
+    config.instructions = 250000;
+    config.warmup = 50000;
+    config.intervalInstructions = 1000;
+    config.applyEnvOverrides();
+    return config;
+}
+
+AttackDecayConfig
+scaledAttackDecay()
+{
+    AttackDecayConfig config;
+    config.decay = 0.0125;
+    config.perfDegThreshold = 0.015;
+    return config;
+}
+
+std::vector<std::string>
+selectedBenchmarks()
+{
+    const char *env = std::getenv("MCD_BENCHMARKS");
+    if (!env || !*env)
+        return BenchmarkFactory::allNames();
+    std::vector<std::string> names;
+    std::stringstream ss(env);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            names.push_back(item);
+    return names;
+}
+
+BenchResults
+computeOne(Runner &runner, const std::string &name,
+           const ComputeOptions &options)
+{
+    BenchResults r;
+    r.name = name;
+
+    std::vector<IntervalProfile> profile;
+    r.mcdBase = runner.runMcdBaseline(name, &profile);
+    r.sync = runner.runSynchronous(name,
+                                   runner.config().dvfs.freqMax);
+    r.attackDecay = runner.runAttackDecay(name, scaledAttackDecay());
+
+    if (options.offline) {
+        r.dynamic1 = runner.runOfflineDynamic(name, 0.01, r.mcdBase,
+                                              profile);
+        r.dynamic5 = runner.runOfflineDynamic(name, 0.05, r.mcdBase,
+                                              profile);
+    }
+
+    if (options.globals) {
+        // Frequency-matched interpretation: slow the whole synchronous
+        // chip by the algorithm's degradation over the baseline MCD.
+        auto match = [&](const SimStats &target) {
+            double deg = (static_cast<double>(target.time) -
+                          static_cast<double>(r.mcdBase.time)) /
+                         static_cast<double>(r.mcdBase.time);
+            return runner.runGlobalAtDegradation(name, deg);
+        };
+        r.globalAd = match(r.attackDecay);
+        if (options.offline) {
+            r.globalDyn1 = match(r.dynamic1.stats);
+            r.globalDyn5 = match(r.dynamic5.stats);
+        }
+    }
+    return r;
+}
+
+std::vector<BenchResults>
+computeAll(Runner &runner, const std::vector<std::string> &names,
+           const ComputeOptions &options)
+{
+    std::vector<BenchResults> all;
+    all.reserve(names.size());
+    for (const auto &name : names) {
+        std::fprintf(stderr, "  running %-12s ...", name.c_str());
+        std::fflush(stderr);
+        all.push_back(computeOne(runner, name, options));
+        std::fprintf(stderr, " done\n");
+    }
+    return all;
+}
+
+void
+printMethodology(const RunnerConfig &config)
+{
+    std::printf("methodology: %llu measured instructions per run, "
+                "%llu warm-up, %d-instruction control interval\n"
+                "(override with MCD_INSNS / MCD_WARMUP / MCD_INTERVAL; "
+                "select apps with MCD_BENCHMARKS)\n\n",
+                static_cast<unsigned long long>(config.instructions),
+                static_cast<unsigned long long>(config.warmup),
+                config.intervalInstructions);
+}
+
+} // namespace mcd::bench

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's building blocks:
+ * raw simulation throughput per machine mode, clock-edge generation,
+ * cache access, branch prediction, and workload generation. These guard
+ * against performance regressions in the hot paths that every
+ * experiment binary depends on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "clock/domain_clock.hh"
+#include "control/attack_decay.hh"
+#include "core/simulator.hh"
+#include "memory/cache.hh"
+#include "predictor/branch_predictor.hh"
+#include "workload/benchmark_factory.hh"
+
+namespace
+{
+
+using namespace mcd;
+
+void
+BM_SimulatorMcd(benchmark::State &state)
+{
+    auto workload = BenchmarkFactory::create("gsm", 1u << 22);
+    SimConfig config;
+    Simulator sim(config, *workload);
+    for (auto _ : state)
+        sim.run(1000);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(sim.committed()));
+}
+BENCHMARK(BM_SimulatorMcd)->Unit(benchmark::kMillisecond);
+
+void
+BM_SimulatorMcdAttackDecay(benchmark::State &state)
+{
+    auto workload = BenchmarkFactory::create("gsm", 1u << 22);
+    SimConfig config;
+    config.core.intervalInstructions = 1000;
+    AttackDecayController controller;
+    Simulator sim(config, *workload, &controller);
+    for (auto _ : state)
+        sim.run(1000);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(sim.committed()));
+}
+BENCHMARK(BM_SimulatorMcdAttackDecay)->Unit(benchmark::kMillisecond);
+
+void
+BM_SimulatorSynchronous(benchmark::State &state)
+{
+    auto workload = BenchmarkFactory::create("gsm", 1u << 22);
+    SimConfig config;
+    config.clocks.mode = ClockMode::Synchronous;
+    Simulator sim(config, *workload);
+    for (auto _ : state)
+        sim.run(1000);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(sim.committed()));
+}
+BENCHMARK(BM_SimulatorSynchronous)->Unit(benchmark::kMillisecond);
+
+void
+BM_ClockEdges(benchmark::State &state)
+{
+    DvfsModel dvfs;
+    DomainClock clock(DomainId::Integer, dvfs, 1.0e9, 42);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(clock.advance());
+}
+BENCHMARK(BM_ClockEdges);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    Cache cache(CacheConfig{"l1", 64 * 1024, 2, 64});
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(addr, false));
+        addr += 4096 + 64; // mixes hits and misses across sets
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_BranchPredict(benchmark::State &state)
+{
+    BranchPredictor bpred;
+    std::uint64_t pc = 0x1000;
+    bool taken = false;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            bpred.predict(pc, false, false, pc + 4));
+        bpred.update(pc, taken, pc + 64, false, false);
+        pc = (pc + 16) & 0xffff;
+        taken = !taken;
+    }
+}
+BENCHMARK(BM_BranchPredict);
+
+void
+BM_WorkloadGeneration(benchmark::State &state)
+{
+    auto workload = BenchmarkFactory::create("gcc", 1u << 22);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(workload->next());
+}
+BENCHMARK(BM_WorkloadGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+#include "sweep_util.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mcd::bench
+{
+
+std::vector<std::string>
+sweepBenchmarks()
+{
+    if (std::getenv("MCD_BENCHMARKS"))
+        return selectedBenchmarks();
+    // A representative mix: media, pointer-chasing, memory-bound,
+    // compute-bound integer and floating point.
+    return {"adpcm", "epic", "jpeg", "bh", "em3d", "health",
+            "power", "art", "bzip2", "gcc", "mcf", "swim"};
+}
+
+SweepBaselines
+computeBaselines(Runner &runner, const std::vector<std::string> &names)
+{
+    SweepBaselines baselines;
+    for (const auto &name : names) {
+        std::fprintf(stderr, "  baseline %-12s ...", name.c_str());
+        std::fflush(stderr);
+        baselines.mcd[name] = runner.runMcdBaseline(name);
+        baselines.sync[name] = runner.runSynchronous(
+            name, runner.config().dvfs.freqMax);
+        std::fprintf(stderr, " done\n");
+    }
+    return baselines;
+}
+
+SweepPoint
+runSweepPoint(Runner &runner, const std::vector<std::string> &names,
+              const SweepBaselines &baselines,
+              const AttackDecayConfig &adc, double parameter)
+{
+    std::vector<ComparisonMetrics> vs_mcd;
+    std::vector<ComparisonMetrics> vs_sync;
+    for (const auto &name : names) {
+        SimStats stats = runner.runAttackDecay(name, adc);
+        vs_mcd.push_back(compare(baselines.mcd.at(name), stats));
+        vs_sync.push_back(compare(baselines.sync.at(name), stats));
+    }
+
+    SweepPoint point;
+    point.parameter = parameter;
+    point.edpImprovementVsMcd =
+        meanOf(vs_mcd, &ComparisonMetrics::edpImprovement);
+    point.powerPerfRatio = powerPerfRatio(vs_mcd);
+    point.perfDegradationVsSync =
+        meanOf(vs_sync, &ComparisonMetrics::perfDegradation);
+    point.edpImprovementVsSync =
+        meanOf(vs_sync, &ComparisonMetrics::edpImprovement);
+    point.energySavingsVsMcd =
+        meanOf(vs_mcd, &ComparisonMetrics::energySavings);
+    return point;
+}
+
+} // namespace mcd::bench

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Shared machinery for the sensitivity-sweep benches (Figures 5, 6, 7):
+ * per-sweep-point Attack/Decay runs over a representative benchmark
+ * subset, with cached baseline runs.
+ */
+
+#ifndef MCD_BENCH_SWEEP_UTIL_HH
+#define MCD_BENCH_SWEEP_UTIL_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "harness/metrics.hh"
+
+namespace mcd::bench
+{
+
+/** Benchmarks used for parameter sweeps (override: MCD_BENCHMARKS). */
+std::vector<std::string> sweepBenchmarks();
+
+/** Cached per-benchmark baselines reused across sweep points. */
+struct SweepBaselines
+{
+    std::map<std::string, SimStats> mcd;
+    std::map<std::string, SimStats> sync;
+};
+
+SweepBaselines computeBaselines(Runner &runner,
+                                const std::vector<std::string> &names);
+
+/** Aggregate metrics of one Attack/Decay configuration. */
+struct SweepPoint
+{
+    double parameter = 0.0;
+    double edpImprovementVsMcd = 0.0;
+    double powerPerfRatio = 0.0;
+    double perfDegradationVsSync = 0.0;
+    double edpImprovementVsSync = 0.0;
+    double energySavingsVsMcd = 0.0;
+};
+
+/** Run one A/D configuration over the subset and aggregate. */
+SweepPoint runSweepPoint(Runner &runner,
+                         const std::vector<std::string> &names,
+                         const SweepBaselines &baselines,
+                         const AttackDecayConfig &adc, double parameter);
+
+} // namespace mcd::bench
+
+#endif // MCD_BENCH_SWEEP_UTIL_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Prints the paper's configuration tables as encoded in the library:
+ * Table 1 (MCD processor parameters), Table 2 (Attack/Decay parameter
+ * ranges and the Section 5 configuration), Table 4 (architectural
+ * parameters), and Table 5 (the benchmark roster).
+ */
+
+#include <cstdio>
+
+#include "control/attack_decay.hh"
+#include "core/core_config.hh"
+#include "clock/dvfs_model.hh"
+#include "harness/table.hh"
+#include "workload/benchmark_factory.hh"
+
+int
+main()
+{
+    using namespace mcd;
+
+    DvfsConfig dvfs;
+    TextTable t1("Table 1: MCD processor configuration parameters");
+    t1.setHeader({"parameter", "value"});
+    t1.addRow({"domain voltage",
+               num(dvfs.voltMin, 2) + " V - " + num(dvfs.voltMax, 2) +
+                   " V"});
+    t1.addRow({"domain frequency",
+               ghz(dvfs.freqMin, 2) + " - " + ghz(dvfs.freqMax, 1)});
+    t1.addRow({"frequency points", std::to_string(dvfs.numPoints)});
+    t1.addRow({"frequency change rate",
+               num(dvfs.slewNsPerMhz, 1) + " ns/MHz"});
+    t1.addRow({"domain clock jitter",
+               num(dvfs.jitterSigmaPs, 0) +
+                   " ps, normally distributed about zero"});
+    t1.addRow({"synchronization window",
+               pct(dvfs.syncWindowFraction, 0) + " of 1.0 GHz clock (" +
+                   num(dvfs.syncWindowFraction * 1000, 0) + " ps)"});
+    std::printf("%s\n", t1.render().c_str());
+
+    AttackDecayConfig adc;
+    TextTable t2("Table 2: Attack/Decay configuration "
+                 "(Section 5 values; paper ranges in parentheses)");
+    t2.setHeader({"parameter", "value", "paper range"});
+    t2.addRow({"DeviationThreshold", pct(adc.deviationThreshold, 2),
+               "0 - 2.5%"});
+    t2.addRow({"ReactionChange", pct(adc.reactionChange, 1),
+               "0.5 - 15.5%"});
+    t2.addRow({"Decay", pct(adc.decay, 3), "0 - 2%"});
+    t2.addRow({"PerfDegThreshold", pct(adc.perfDegThreshold, 1),
+               "0 - 12%"});
+    t2.addRow({"EndstopCount", std::to_string(adc.endstopCount),
+               "1 - 25 intervals"});
+    std::printf("%s\n", t2.render().c_str());
+
+    CoreConfig core;
+    TextTable t4("Table 4: architectural parameters "
+                 "(Alpha 21264-like)");
+    t4.setHeader({"parameter", "value"});
+    t4.addRow({"decode width", std::to_string(core.decodeWidth)});
+    t4.addRow({"issue width",
+               std::to_string(core.intIssueWidth + core.fpIssueWidth) +
+                   " (" + std::to_string(core.intIssueWidth) + " int + " +
+                   std::to_string(core.fpIssueWidth) + " fp)"});
+    t4.addRow({"retire width", std::to_string(core.retireWidth)});
+    t4.addRow({"branch mispredict penalty",
+               std::to_string(core.branchMispredictPenalty)});
+    t4.addRow({"L1 caches", "64KB 2-way, " +
+                                std::to_string(core.memory.l1Latency) +
+                                "-cycle"});
+    t4.addRow({"L2 cache", "1MB direct-mapped, " +
+                               std::to_string(core.memory.l2Latency) +
+                               "-cycle"});
+    t4.addRow({"integer ALUs", std::to_string(core.intAluCount) +
+                                   " + 1 mult/div"});
+    t4.addRow({"FP ALUs", std::to_string(core.fpAluCount) +
+                              " + 1 mult/div/sqrt"});
+    t4.addRow({"integer issue queue", std::to_string(core.intIqSize)});
+    t4.addRow({"FP issue queue", std::to_string(core.fpIqSize)});
+    t4.addRow({"load/store queue", std::to_string(core.lsqSize)});
+    t4.addRow({"physical registers",
+               std::to_string(core.intPhysRegs) + " int, " +
+                   std::to_string(core.fpPhysRegs) + " fp"});
+    t4.addRow({"reorder buffer", std::to_string(core.robSize)});
+    std::printf("%s\n", t4.render().c_str());
+
+    TextTable t5("Table 5: benchmark applications");
+    t5.setHeader({"suite", "benchmarks"});
+    for (const char *suite : {"MediaBench", "Olden", "Spec2000"}) {
+        std::string list;
+        for (const auto &name : BenchmarkFactory::suiteNames(suite)) {
+            if (!list.empty())
+                list += ", ";
+            list += name;
+        }
+        t5.addRow({suite, list});
+    }
+    std::printf("%s", t5.render().c_str());
+    return 0;
+}

@@ -1,0 +1,75 @@
+#include "clock/clock_system.hh"
+
+#include "common/logging.hh"
+
+namespace mcd
+{
+
+ClockSystem::ClockSystem(const DvfsModel &dvfs,
+                         const ClockSystemConfig &config)
+    : dvfs_(&dvfs), config_(config)
+{
+    if (config_.mode == ClockMode::Synchronous) {
+        clocks_[0] = std::make_unique<DomainClock>(
+            DomainId::FrontEnd, dvfs, config_.startFreq, config_.seed,
+            config_.jittered);
+    } else {
+        for (int i = 0; i < NUM_CLOCKED_DOMAINS; ++i) {
+            clocks_[static_cast<std::size_t>(i)] =
+                std::make_unique<DomainClock>(
+                    static_cast<DomainId>(i), dvfs, config_.startFreq,
+                    config_.seed + static_cast<std::uint64_t>(i) * 7919,
+                    config_.jittered);
+        }
+    }
+}
+
+int
+ClockSystem::clockIndex(DomainId id) const
+{
+    if (id == DomainId::External)
+        mcd_panic("the external domain has no controllable clock");
+    if (config_.mode == ClockMode::Synchronous)
+        return 0;
+    return domainIndex(id);
+}
+
+DomainClock &
+ClockSystem::clock(DomainId id)
+{
+    return *clocks_[static_cast<std::size_t>(clockIndex(id))];
+}
+
+const DomainClock &
+ClockSystem::clock(DomainId id) const
+{
+    return *clocks_[static_cast<std::size_t>(clockIndex(id))];
+}
+
+bool
+ClockSystem::sameClock(DomainId a, DomainId b) const
+{
+    if (config_.mode == ClockMode::Synchronous)
+        return true;
+    return a == b;
+}
+
+bool
+ClockSystem::visible(DomainId src, Tick write_edge,
+                     DomainId dst, Tick read_edge) const
+{
+    if (read_edge < write_edge)
+        return false;
+    if (sameClock(src, dst))
+        return true;
+    return read_edge - write_edge >= dvfs_->syncWindow();
+}
+
+Tick
+ClockSystem::syncWindow() const
+{
+    return config_.mode == ClockMode::Synchronous ? 0
+                                                  : dvfs_->syncWindow();
+}
+
+} // namespace mcd

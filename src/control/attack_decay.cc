@@ -1,0 +1,160 @@
+#include "control/attack_decay.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mcd
+{
+
+namespace
+{
+
+/** May the controller lower a domain's frequency this interval? */
+bool
+decreasePermitted(double prev_ipc, double ipc,
+                  const AttackDecayConfig &config)
+{
+    if (ipc <= 0.0)
+        return false;
+    double ratio = prev_ipc > 0.0 ? prev_ipc / ipc : 1.0;
+    if (config.literalListingGuard)
+        return ratio >= 1.0 + config.perfDegThreshold;
+    return ratio <= 1.0 + config.perfDegThreshold;
+}
+
+} // namespace
+
+Hertz
+attackDecayStep(AttackDecayDomainState &state, double utilization,
+                double ipc, const AttackDecayConfig &config,
+                Hertz f_min, Hertz f_max)
+{
+    double period_scale = 1.0; // assume no frequency change
+
+    bool force = config.endstopCount > 0;
+    if (force && state.upperEndstop == config.endstopCount) {
+        // Held at the maximum: force a frequency decrease.
+        period_scale = 1.0 + config.reactionChange;
+    } else if (force && state.lowerEndstop == config.endstopCount) {
+        // Held at the minimum: force a frequency increase.
+        period_scale = 1.0 - config.reactionChange;
+    } else {
+        double delta = utilization - state.prevUtilization;
+        double band = state.prevUtilization * config.deviationThreshold;
+        if (delta > band) {
+            // Significant increase: attack upward.
+            period_scale = 1.0 - config.reactionChange;
+        } else if (-delta > band &&
+                   decreasePermitted(state.prevIpc, ipc, config)) {
+            // Significant decrease: attack downward.
+            period_scale = 1.0 + config.reactionChange;
+        } else if (decreasePermitted(state.prevIpc, ipc, config)) {
+            // Unused or unchanged: decay.
+            period_scale = 1.0 + config.decay;
+        }
+    }
+
+    // Listing 1 line 32: the hardware scales the *period* register, so
+    // compute 1 / ((1 / f) * scale) exactly as written (not f / scale,
+    // which differs in the last ulp and can flip the end-stop
+    // comparisons), then range-check against the DVFS window. A scale
+    // factor of exactly 1 programs nothing (the PLL register is only
+    // written on a change), keeping an unchanged frequency bit-exact.
+    if (period_scale != 1.0) {
+        state.freq = std::clamp(
+            1.0 / ((1.0 / state.freq) * period_scale), f_min, f_max);
+    }
+
+    // Set up for the next interval (Listing 1 lines 35-47).
+    state.prevIpc = ipc;
+    state.prevUtilization = utilization;
+    if (config.endstopCount > 0) {
+        if (state.freq <= f_min &&
+            state.lowerEndstop != config.endstopCount)
+            ++state.lowerEndstop;
+        else
+            state.lowerEndstop = 0;
+        if (state.freq >= f_max &&
+            state.upperEndstop != config.endstopCount)
+            ++state.upperEndstop;
+        else
+            state.upperEndstop = 0;
+    }
+    return state.freq;
+}
+
+AttackDecayController::AttackDecayController(
+    const AttackDecayConfig &config)
+    : config_(config)
+{
+}
+
+void
+AttackDecayController::onStart(ClockSystem &clocks)
+{
+    for (int slot = 0; slot < NUM_CONTROLLED; ++slot) {
+        AttackDecayDomainState &s =
+            state_[static_cast<std::size_t>(slot)];
+        s = AttackDecayDomainState{};
+        s.freq = clocks.clock(controlledDomainId(slot)).targetFrequency();
+    }
+    started_ = true;
+}
+
+Hertz
+AttackDecayController::internalFrequency(int slot) const
+{
+    return state_[static_cast<std::size_t>(slot)].freq;
+}
+
+void
+AttackDecayController::onInterval(const IntervalStats &stats,
+                                  ClockSystem &clocks)
+{
+    if (!started_)
+        mcd_panic("controller used before onStart");
+
+    const DvfsModel &dvfs = clocks.dvfs();
+    const Hertz f_min = dvfs.config().freqMin;
+    const Hertz f_max = dvfs.config().freqMax;
+
+    for (int slot = 0; slot < NUM_CONTROLLED; ++slot) {
+        AttackDecayDomainState &s =
+            state_[static_cast<std::size_t>(slot)];
+        const DomainIntervalStats &d =
+            stats.domains[static_cast<std::size_t>(slot)];
+        Hertz freq = attackDecayStep(s, d.queueUtilization, stats.ipc,
+                                     config_, f_min, f_max);
+        clocks.clock(controlledDomainId(slot)).setTargetFrequency(freq);
+    }
+}
+
+FrontEndAttackDecayController::FrontEndAttackDecayController(
+    const AttackDecayConfig &config)
+    : back_end_(config), config_(config)
+{
+}
+
+void
+FrontEndAttackDecayController::onStart(ClockSystem &clocks)
+{
+    back_end_.onStart(clocks);
+    fe_state_ = AttackDecayDomainState{};
+    fe_state_.freq =
+        clocks.clock(DomainId::FrontEnd).targetFrequency();
+}
+
+void
+FrontEndAttackDecayController::onInterval(const IntervalStats &stats,
+                                          ClockSystem &clocks)
+{
+    back_end_.onInterval(stats, clocks);
+    const DvfsModel &dvfs = clocks.dvfs();
+    Hertz freq = attackDecayStep(
+        fe_state_, stats.robUtilization, stats.ipc, config_,
+        dvfs.config().freqMin, dvfs.config().freqMax);
+    clocks.clock(DomainId::FrontEnd).setTargetFrequency(freq);
+}
+
+} // namespace mcd

@@ -1,0 +1,79 @@
+#include "control/gate_estimator.hh"
+
+namespace mcd
+{
+
+namespace
+{
+
+constexpr int ADDER_GATES_PER_BIT = 7;
+constexpr int DFF_GATES_PER_BIT = 4;
+constexpr int COMPARATOR_GATES_PER_BIT = 6;
+constexpr int MULT_GATES_PER_BIT = 1;
+constexpr int HALF_ADDER_GATES_PER_BIT = 3;
+
+} // namespace
+
+GateEstimator::GateEstimator(const GateEstimatorConfig &config)
+    : config_(config)
+{
+}
+
+std::vector<GateEstimate>
+GateEstimator::rows() const
+{
+    const int n = config_.deviceBits;
+    std::vector<GateEstimate> rows;
+
+    rows.push_back({"Queue Utilization Counter (Accumulator)",
+                    "7n (Adder) + 4n (D Flip-Flop) = 11n", n,
+                    (ADDER_GATES_PER_BIT + DFF_GATES_PER_BIT) * n});
+    rows.push_back({"Comparators (2 required)",
+                    "6n x 2 = 12n", n,
+                    COMPARATOR_GATES_PER_BIT * n * config_.numComparators});
+    rows.push_back({"Multiplier (partial-product accumulation)",
+                    "1n (Multiplier) + 4n (D Flip-Flop) = 5n", n,
+                    (MULT_GATES_PER_BIT + DFF_GATES_PER_BIT) * n});
+    rows.push_back({"Interval Counter (14-bit)",
+                    "3n (Half-adder) + 4n (D Flip-Flop) = 7n", n,
+                    (HALF_ADDER_GATES_PER_BIT + DFF_GATES_PER_BIT) * n});
+    rows.push_back({"Endstop Counter (4-bit)",
+                    "3n (Half-adder) + 4n (D Flip-Flop) = 7n",
+                    config_.endstopCounterBits,
+                    (HALF_ADDER_GATES_PER_BIT + DFF_GATES_PER_BIT) *
+                        config_.endstopCounterBits});
+    return rows;
+}
+
+int
+GateEstimator::gatesPerDomain() const
+{
+    // Per-domain hardware: utilization accumulator, two comparators,
+    // the frequency-scaling multiplier, and the end-stop counter. The
+    // interval counter is shared across domains.
+    const int n = config_.deviceBits;
+    int accumulator = (ADDER_GATES_PER_BIT + DFF_GATES_PER_BIT) * n;
+    int comparators =
+        COMPARATOR_GATES_PER_BIT * n * config_.numComparators;
+    int multiplier = (MULT_GATES_PER_BIT + DFF_GATES_PER_BIT) * n;
+    int endstop = (HALF_ADDER_GATES_PER_BIT + DFF_GATES_PER_BIT) *
+        config_.endstopCounterBits;
+    return accumulator + comparators + multiplier + endstop;
+}
+
+int
+GateEstimator::sharedGates() const
+{
+    // A single interval counter frames the 10,000-instruction windows;
+    // Table 3 sizes its logic at the 16-bit device width.
+    const int n = config_.deviceBits;
+    return (HALF_ADDER_GATES_PER_BIT + DFF_GATES_PER_BIT) * n;
+}
+
+int
+GateEstimator::totalGates(int domains) const
+{
+    return gatesPerDomain() * domains + sharedGates();
+}
+
+} // namespace mcd

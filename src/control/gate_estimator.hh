@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Hardware-cost model for the Attack/Decay monitoring and control
+ * circuits (Section 3.2, Table 3), using the gate-equivalence figures of
+ * Zimmermann [27]: a ripple adder costs 7 gates/bit, a D flip-flop 4
+ * gates/bit, a comparator 6 gates/bit, a serial partial-product
+ * multiplier 1 gate/bit plus accumulation flip-flops, and a half-adder
+ * based counter 3 gates/bit plus flip-flops.
+ */
+
+#ifndef MCD_CONTROL_GATE_ESTIMATOR_HH
+#define MCD_CONTROL_GATE_ESTIMATOR_HH
+
+#include <string>
+#include <vector>
+
+namespace mcd
+{
+
+/** One row of Table 3. */
+struct GateEstimate
+{
+    std::string component;
+    std::string estimation; //!< formula text, e.g. "11n"
+    int bitsPerDevice = 16;
+    int gates = 0;
+};
+
+/** Width assumptions for the control hardware. */
+struct GateEstimatorConfig
+{
+    int deviceBits = 16;        //!< counters/comparators/multiplier width
+    int intervalCounterBits = 14;
+    int endstopCounterBits = 4;
+    int numComparators = 2;
+};
+
+/** Computes Table 3 and the derived per-domain / total gate counts. */
+class GateEstimator
+{
+  public:
+    explicit GateEstimator(
+        const GateEstimatorConfig &config = GateEstimatorConfig{});
+
+    /** The five Table 3 rows. */
+    std::vector<GateEstimate> rows() const;
+
+    /** Gates required per controlled domain (Table 3 discussion: 476). */
+    int gatesPerDomain() const;
+
+    /** Gates of the single shared interval counter (112). */
+    int sharedGates() const;
+
+    /** Total for `domains` controlled domains plus shared logic. */
+    int totalGates(int domains) const;
+
+  private:
+    GateEstimatorConfig config_;
+};
+
+} // namespace mcd
+
+#endif // MCD_CONTROL_GATE_ESTIMATOR_HH

@@ -1,0 +1,929 @@
+#include "core/simulator.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mcd
+{
+
+DomainId
+controlledDomainId(int slot)
+{
+    switch (slot) {
+      case CTL_INT: return DomainId::Integer;
+      case CTL_FP:  return DomainId::FloatingPoint;
+      case CTL_LS:  return DomainId::LoadStore;
+      default: mcd_panic("bad controlled-domain slot %d", slot);
+    }
+}
+
+Simulator::Simulator(const SimConfig &config, WorkloadGenerator &workload,
+                     FrequencyController *controller)
+    : config_(config), workload_(&workload), controller_(controller),
+      dvfs_(config.dvfs),
+      clocks_(dvfs_, config.clocks),
+      energy_model_(config.energy,
+                    config.clocks.mode == ClockMode::Mcd),
+      power_(energy_model_),
+      memory_(config.core.memory),
+      int_regs_(config.core.intPhysRegs),
+      fp_regs_(config.core.fpPhysRegs),
+      rename_(int_regs_, fp_regs_)
+{
+    if (controller_)
+        controller_->onStart(clocks_);
+}
+
+Volt
+Simulator::voltage(DomainId domain) const
+{
+    return clocks_.clock(domain).voltage();
+}
+
+std::uint64_t
+Simulator::lineOf(std::uint64_t addr) const
+{
+    return addr & ~static_cast<std::uint64_t>(
+        config_.core.memory.l1i.lineBytes - 1);
+}
+
+int
+Simulator::execLatency(OpClass cls) const
+{
+    const CoreConfig &c = config_.core;
+    switch (cls) {
+      case OpClass::IntAlu:
+      case OpClass::Branch:
+      case OpClass::Call:
+      case OpClass::Return:
+      case OpClass::Nop:
+        return c.intAluLatency;
+      case OpClass::IntMult: return c.intMultLatency;
+      case OpClass::IntDiv:  return c.intDivLatency;
+      case OpClass::FpAdd:   return c.fpAddLatency;
+      case OpClass::FpMult:  return c.fpMultLatency;
+      case OpClass::FpDiv:   return c.fpDivLatency;
+      case OpClass::FpSqrt:  return c.fpSqrtLatency;
+      default:
+        mcd_panic("no execution latency for op class %d",
+                  static_cast<int>(cls));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Main loop
+// ---------------------------------------------------------------------
+
+void
+Simulator::run(std::uint64_t instructions)
+{
+    stop_at_ = committed_ + instructions;
+    while (committed_ < stop_at_)
+        step();
+    stop_at_ = ~0ull;
+}
+
+void
+Simulator::step()
+{
+    if (clocks_.mode() == ClockMode::Synchronous) {
+        DomainClock &clock = clocks_.clock(DomainId::FrontEnd);
+        Tick edge = clock.advance();
+        now_ = edge;
+        // Execution domains tick before the front end so same-edge
+        // completion -> commit and dispatch -> next-edge issue orderings
+        // match a conventional synchronous pipeline.
+        tickDomain(DomainId::Integer, edge);
+        tickDomain(DomainId::FloatingPoint, edge);
+        tickDomain(DomainId::LoadStore, edge);
+        tickDomain(DomainId::FrontEnd, edge);
+        return;
+    }
+
+    static constexpr DomainId ORDER[] = {
+        DomainId::Integer, DomainId::FloatingPoint,
+        DomainId::LoadStore, DomainId::FrontEnd,
+    };
+    DomainId best = ORDER[0];
+    Tick best_edge = clocks_.clock(best).nextEdge();
+    for (int i = 1; i < NUM_CLOCKED_DOMAINS; ++i) {
+        Tick t = clocks_.clock(ORDER[i]).nextEdge();
+        if (t < best_edge) {
+            best = ORDER[i];
+            best_edge = t;
+        }
+    }
+    Tick edge = clocks_.clock(best).advance();
+    now_ = edge;
+    tickDomain(best, edge);
+}
+
+void
+Simulator::tickDomain(DomainId domain, Tick edge)
+{
+    power_.chargeCycle(domain, voltage(domain));
+
+    switch (domain) {
+      case DomainId::FrontEnd:
+        ++fe_cycles_;
+        rob_occupancy_sum_ += static_cast<double>(rob_count_);
+        frontEndTick(edge);
+        break;
+      case DomainId::Integer:
+        {
+            DomainAccum &a = interval_accum_[CTL_INT];
+            a.occupancySum += static_cast<double>(int_iq_.size());
+            ++a.cycles;
+            if (!int_iq_.empty() || !int_exec_.empty())
+                ++a.busyCycles;
+            integerTick(edge);
+            break;
+        }
+      case DomainId::FloatingPoint:
+        {
+            DomainAccum &a = interval_accum_[CTL_FP];
+            a.occupancySum += static_cast<double>(fp_iq_.size());
+            ++a.cycles;
+            if (!fp_iq_.empty() || !fp_exec_.empty())
+                ++a.busyCycles;
+            fpTick(edge);
+            break;
+        }
+      case DomainId::LoadStore:
+        {
+            DomainAccum &a = interval_accum_[CTL_LS];
+            a.occupancySum += static_cast<double>(lsq_.size());
+            ++a.cycles;
+            if (!lsq_.empty())
+                ++a.busyCycles;
+            loadStoreTick(edge);
+            break;
+        }
+      default:
+        mcd_panic("cannot tick external domain");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Front end: commit, then fetch + rename + dispatch
+// ---------------------------------------------------------------------
+
+void
+Simulator::frontEndTick(Tick edge)
+{
+    commitStage(edge);
+    fetchAndDispatch(edge);
+}
+
+void
+Simulator::commitStage(Tick edge)
+{
+    int budget = config_.core.retireWidth;
+    while (budget > 0 && !rob_.empty() && committed_ < stop_at_) {
+        Inst &head = *rob_.front();
+        if (!head.completed)
+            break;
+        if (!clocks_.visible(head.execDomain, head.completeTime,
+                             DomainId::FrontEnd, edge))
+            break;
+
+        head.committed = true;
+        power_.chargeAccess(StructureId::Rob, voltage(DomainId::FrontEnd));
+
+        if (isControlClass(head.op.cls)) {
+            bpred_.update(head.op.pc, head.op.taken, head.op.target,
+                          head.op.cls == OpClass::Call,
+                          head.op.cls == OpClass::Return);
+        }
+        if (head.hasDst() && head.oldPhysDst >= 0) {
+            (head.dstIsFp() ? fp_regs_ : int_regs_).free(head.oldPhysDst);
+        }
+        if (head.isLoad) {
+            head.lsqFreed = true;
+            std::erase(lsq_, &head);
+        }
+        if (head.isStore)
+            head.committedStore = true;
+
+        rob_.pop_front();
+        --rob_count_;
+        ++committed_;
+        --budget;
+
+        if (committed_ - interval_start_insts_ >=
+            static_cast<std::uint64_t>(config_.core.intervalInstructions))
+            handleIntervalBoundary(edge);
+    }
+    retireWindowHead();
+}
+
+void
+Simulator::retireWindowHead()
+{
+    while (!window_.empty() && window_.front().retired())
+        window_.pop_front();
+}
+
+void
+Simulator::handleIntervalBoundary(Tick edge)
+{
+    IntervalStats stats;
+    stats.index = interval_index_++;
+    stats.instructions = committed_ - interval_start_insts_;
+    stats.feCycles = fe_cycles_ - interval_start_fe_cycles_;
+    stats.ipc = stats.feCycles
+        ? static_cast<double>(stats.instructions) /
+          static_cast<double>(stats.feCycles)
+        : 0.0;
+    stats.startTime = interval_start_time_;
+    stats.endTime = edge;
+
+    for (int slot = 0; slot < NUM_CONTROLLED; ++slot) {
+        const DomainAccum &a = interval_accum_[static_cast<std::size_t>(
+            slot)];
+        DomainIntervalStats &d =
+            stats.domains[static_cast<std::size_t>(slot)];
+        d.queueUtilization = stats.instructions
+            ? a.occupancySum / static_cast<double>(stats.instructions)
+            : 0.0;
+        d.avgOccupancy = a.cycles
+            ? a.occupancySum / static_cast<double>(a.cycles)
+            : 0.0;
+        d.issued = a.issued;
+        d.cycles = a.cycles;
+        d.busyCycles = a.busyCycles;
+        d.frequency =
+            clocks_.clock(controlledDomainId(slot)).targetFrequency();
+    }
+
+    stats.robUtilization = stats.instructions
+        ? rob_occupancy_sum_ / static_cast<double>(stats.instructions)
+        : 0.0;
+    stats.avgRobOccupancy = stats.feCycles
+        ? rob_occupancy_sum_ / static_cast<double>(stats.feCycles)
+        : 0.0;
+    stats.feFrequency =
+        clocks_.clock(DomainId::FrontEnd).targetFrequency();
+
+    if (controller_)
+        controller_->onInterval(stats, clocks_);
+    if (interval_observer_)
+        interval_observer_(stats);
+
+    interval_accum_ = {};
+    rob_occupancy_sum_ = 0.0;
+    interval_start_insts_ = committed_;
+    interval_start_fe_cycles_ = fe_cycles_;
+    interval_start_time_ = edge;
+}
+
+bool
+Simulator::resourcesAvailable(const MicroOp &op) const
+{
+    const CoreConfig &c = config_.core;
+    if (rob_count_ >= c.robSize)
+        return false;
+    if (op.dst > 0) {
+        const PhysRegFile &file =
+            RenameMap::isFp(op.dst) ? fp_regs_ : int_regs_;
+        if (file.freeCount() == 0)
+            return false;
+    }
+    if (isMemClass(op.cls))
+        return static_cast<int>(lsq_.size()) < c.lsqSize;
+    if (isFpClass(op.cls))
+        return static_cast<int>(fp_iq_.size()) < c.fpIqSize;
+    return static_cast<int>(int_iq_.size()) < c.intIqSize;
+}
+
+void
+Simulator::fetchAndDispatch(Tick edge)
+{
+    const CoreConfig &c = config_.core;
+    Volt v_fe = voltage(DomainId::FrontEnd);
+
+    if (stall_branch_) {
+        if (branch_resolve_time_ == MAX_TICK)
+            return; // branch still executing
+        if (!clocks_.visible(branch_resolve_domain_, branch_resolve_time_,
+                             DomainId::FrontEnd, edge))
+            return; // redirect has not crossed into the front end yet
+        if (redirect_penalty_left_ > 0) {
+            --redirect_penalty_left_;
+            // Wrong-path fetch shadow: the fetch engine keeps running.
+            power_.chargeAccess(StructureId::Icache, v_fe);
+            return;
+        }
+        stall_branch_ = nullptr;
+        branch_resolve_time_ = MAX_TICK;
+    }
+
+    if (icache_stall_until_ > edge)
+        return;
+
+    bool accessed_line = false;
+    for (int budget = c.decodeWidth; budget > 0; --budget) {
+        if (!have_pending_op_) {
+            pending_op_ = workload_->next();
+            have_pending_op_ = true;
+        }
+        const MicroOp &op = pending_op_;
+        if (!resourcesAvailable(op))
+            break;
+
+        std::uint64_t line = lineOf(op.pc);
+        if (line != last_fetch_line_) {
+            if (accessed_line)
+                break; // one I-cache line per fetch cycle
+            accessed_line = true;
+            power_.chargeAccess(StructureId::Icache, v_fe);
+            MemAccessOutcome outcome = memory_.accessInst(op.pc);
+            last_fetch_line_ = line;
+            if (outcome.level != MemLevel::L1) {
+                Volt v_ls = voltage(DomainId::LoadStore);
+                power_.chargeAccess(
+                    StructureId::L2Cache, v_ls,
+                    static_cast<std::uint64_t>(outcome.l2Accesses));
+                Tick ls_period = periodFromFreq(
+                    clocks_.clock(DomainId::LoadStore).frequency());
+                Tick done = edge +
+                    config_.core.memory.l2Latency * ls_period;
+                for (int m = 0; m < outcome.memAccesses; ++m) {
+                    done = memory_.memory().schedule(done);
+                    power_.chargeMemoryAccess();
+                }
+                icache_stall_until_ = done + clocks_.syncWindow();
+                break;
+            }
+        }
+
+        if (!dispatchOne(op, edge))
+            break;
+        have_pending_op_ = false;
+
+        const Inst &inst = window_.back();
+        if (isControlClass(op.cls)) {
+            if (inst.mispredicted) {
+                stall_branch_ = &inst;
+                redirect_penalty_left_ = c.branchMispredictPenalty;
+                branch_resolve_time_ = MAX_TICK;
+                break;
+            }
+            if (op.taken)
+                break; // redirect to the predicted target next cycle
+        }
+    }
+}
+
+bool
+Simulator::dispatchOne(const MicroOp &op, Tick edge)
+{
+    Volt v_fe = voltage(DomainId::FrontEnd);
+
+    window_.push_back(Inst{});
+    Inst &inst = window_.back();
+    inst.op = op;
+    inst.seq = next_seq_++;
+    inst.dispatchTime = edge;
+    inst.isLoad = isLoadClass(op.cls);
+    inst.isStore = isStoreClass(op.cls);
+    inst.execDomain = isMemClass(op.cls) ? DomainId::LoadStore
+        : isFpClass(op.cls)              ? DomainId::FloatingPoint
+                                         : DomainId::Integer;
+
+    inst.physA = rename_.lookup(op.srcA);
+    inst.physB = rename_.lookup(op.srcB);
+
+    if (isControlClass(op.cls)) {
+        branches_.inc();
+        power_.chargeAccess(StructureId::BranchPredictor, v_fe);
+        BranchPrediction pred = bpred_.predict(
+            op.pc, op.cls == OpClass::Call, op.cls == OpClass::Return,
+            op.fallthrough());
+        bool correct = pred.predictTaken == op.taken &&
+            (!op.taken || pred.target == op.target);
+        inst.mispredicted = !correct;
+        if (!correct)
+            mispredicts_.inc();
+    }
+
+    if (op.dst > 0) {
+        PhysRegFile &file =
+            RenameMap::isFp(op.dst) ? fp_regs_ : int_regs_;
+        int phys = file.alloc();
+        if (phys < 0)
+            mcd_panic("dispatch without a free physical register");
+        inst.physDst = phys;
+        inst.oldPhysDst = rename_.rename(op.dst, phys);
+    }
+
+    power_.chargeAccess(StructureId::RenameTable, v_fe);
+    power_.chargeAccess(StructureId::Rob, v_fe);
+    rob_.push_back(&inst);
+    ++rob_count_;
+
+    if (isMemClass(op.cls)) {
+        lsq_.push_back(&inst);
+        power_.chargeAccess(StructureId::Lsq,
+                            voltage(DomainId::LoadStore));
+        loads_.inc(inst.isLoad ? 1 : 0);
+        stores_.inc(inst.isStore ? 1 : 0);
+    } else if (isFpClass(op.cls)) {
+        fp_iq_.push_back(&inst);
+        power_.chargeAccess(StructureId::FpIssueQueue,
+                            voltage(DomainId::FloatingPoint));
+    } else {
+        int_iq_.push_back(&inst);
+        power_.chargeAccess(StructureId::IntIssueQueue,
+                            voltage(DomainId::Integer));
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Execution domains
+// ---------------------------------------------------------------------
+
+bool
+Simulator::regReady(int logical, int phys, DomainId domain,
+                    Tick edge) const
+{
+    if (logical <= 0)
+        return true;
+    const PhysRegFile &file =
+        RenameMap::isFp(logical) ? fp_regs_ : int_regs_;
+    return file.readyAt(phys, domain, edge, clocks_);
+}
+
+bool
+Simulator::operandsReady(const Inst &inst, DomainId domain,
+                         Tick edge) const
+{
+    return regReady(inst.op.srcA, inst.physA, domain, edge) &&
+           regReady(inst.op.srcB, inst.physB, domain, edge);
+}
+
+void
+Simulator::completeInst(Inst &inst, DomainId domain, Tick edge)
+{
+    inst.completed = true;
+    inst.completeTime = edge;
+    if (inst.physDst >= 0) {
+        PhysRegFile &file =
+            inst.dstIsFp() ? fp_regs_ : int_regs_;
+        file.markWritten(inst.physDst, edge, domain);
+        power_.chargeAccess(inst.dstIsFp() ? StructureId::FpRegFile
+                                           : StructureId::IntRegFile,
+                            voltage(domain));
+        power_.chargeAccess(StructureId::ResultBus, voltage(domain));
+    }
+    if (inst.usesMshr && inst.isLoad) {
+        --mshr_in_use_;
+        inst.usesMshr = false;
+    }
+    if (inst.mispredicted && isControlClass(inst.op.cls)) {
+        branch_resolve_time_ = edge;
+        branch_resolve_domain_ = domain;
+    }
+}
+
+void
+Simulator::processCompletions(std::vector<Inst *> &exec_list,
+                              DomainId domain, Tick edge)
+{
+    for (std::size_t i = 0; i < exec_list.size();) {
+        Inst &inst = *exec_list[i];
+        if (inst.remainingCycles > 0)
+            --inst.remainingCycles;
+        if (inst.remainingCycles == 0 &&
+            (inst.absDoneTime == MAX_TICK || edge >= inst.absDoneTime)) {
+            if (inst.isStore && inst.writeIssued) {
+                // A committed store write finishing: free the LSQ slot.
+                inst.lsqFreed = true;
+                if (inst.usesMshr) {
+                    --mshr_in_use_;
+                    inst.usesMshr = false;
+                }
+                std::erase(lsq_, &inst);
+            } else {
+                completeInst(inst, domain, edge);
+            }
+            exec_list[i] = exec_list.back();
+            exec_list.pop_back();
+        } else {
+            ++i;
+        }
+    }
+}
+
+void
+Simulator::integerTick(Tick edge)
+{
+    if (int_div_busy_ > 0)
+        --int_div_busy_;
+    processCompletions(int_exec_, DomainId::Integer, edge);
+    issueInteger(edge);
+}
+
+void
+Simulator::fpTick(Tick edge)
+{
+    if (fp_div_busy_ > 0)
+        --fp_div_busy_;
+    processCompletions(fp_exec_, DomainId::FloatingPoint, edge);
+    issueFp(edge);
+}
+
+void
+Simulator::issueInteger(Tick edge)
+{
+    const CoreConfig &c = config_.core;
+    Volt v = voltage(DomainId::Integer);
+    int budget = c.intIssueWidth;
+    int alu_slots = c.intAluCount;
+    int mult_slots = int_div_busy_ == 0 ? 1 : 0;
+
+    for (auto it = int_iq_.begin();
+         it != int_iq_.end() && budget > 0;) {
+        Inst &inst = **it;
+        // Queue-write latency: the entry is latched into the issue
+        // queue on the first domain edge that satisfies the sync rule
+        // and becomes issue-eligible the following edge.
+        if (!inst.enqueued) {
+            if (clocks_.visible(DomainId::FrontEnd, inst.dispatchTime,
+                                DomainId::Integer, edge))
+                inst.enqueued = true;
+            ++it;
+            continue;
+        }
+        if (!operandsReady(inst, DomainId::Integer, edge)) {
+            ++it;
+            continue;
+        }
+
+        OpClass cls = inst.op.cls;
+        if (cls == OpClass::IntMult) {
+            if (mult_slots == 0) {
+                ++it;
+                continue;
+            }
+            --mult_slots;
+            power_.chargeAccess(StructureId::IntMult, v);
+        } else if (cls == OpClass::IntDiv) {
+            if (mult_slots == 0) {
+                ++it;
+                continue;
+            }
+            mult_slots = 0;
+            int_div_busy_ = c.intDivLatency;
+            power_.chargeAccess(StructureId::IntMult, v);
+        } else {
+            if (alu_slots == 0) {
+                ++it;
+                continue;
+            }
+            --alu_slots;
+            power_.chargeAccess(StructureId::IntAlu, v);
+        }
+
+        inst.issued = true;
+        inst.remainingCycles = execLatency(cls);
+        int_exec_.push_back(&inst);
+        power_.chargeAccess(StructureId::IntIssueQueue, v);
+        int reads = (inst.op.srcA > 0 ? 1 : 0) +
+                    (inst.op.srcB > 0 ? 1 : 0);
+        power_.chargeAccess(StructureId::IntRegFile, v,
+                            static_cast<std::uint64_t>(reads));
+        ++interval_accum_[CTL_INT].issued;
+        it = int_iq_.erase(it);
+        --budget;
+    }
+}
+
+void
+Simulator::issueFp(Tick edge)
+{
+    const CoreConfig &c = config_.core;
+    Volt v = voltage(DomainId::FloatingPoint);
+    int budget = c.fpIssueWidth;
+    int alu_slots = c.fpAluCount;
+    int mult_slots = fp_div_busy_ == 0 ? 1 : 0;
+
+    for (auto it = fp_iq_.begin(); it != fp_iq_.end() && budget > 0;) {
+        Inst &inst = **it;
+        if (!inst.enqueued) {
+            if (clocks_.visible(DomainId::FrontEnd, inst.dispatchTime,
+                                DomainId::FloatingPoint, edge))
+                inst.enqueued = true;
+            ++it;
+            continue;
+        }
+        if (!operandsReady(inst, DomainId::FloatingPoint, edge)) {
+            ++it;
+            continue;
+        }
+
+        OpClass cls = inst.op.cls;
+        if (cls == OpClass::FpMult) {
+            if (mult_slots == 0) {
+                ++it;
+                continue;
+            }
+            --mult_slots;
+            power_.chargeAccess(StructureId::FpMult, v);
+        } else if (cls == OpClass::FpDiv || cls == OpClass::FpSqrt) {
+            if (mult_slots == 0) {
+                ++it;
+                continue;
+            }
+            mult_slots = 0;
+            fp_div_busy_ = cls == OpClass::FpDiv ? c.fpDivLatency
+                                                 : c.fpSqrtLatency;
+            power_.chargeAccess(StructureId::FpMult, v);
+        } else {
+            if (alu_slots == 0) {
+                ++it;
+                continue;
+            }
+            --alu_slots;
+            power_.chargeAccess(StructureId::FpAlu, v);
+        }
+
+        inst.issued = true;
+        inst.remainingCycles = execLatency(cls);
+        fp_exec_.push_back(&inst);
+        power_.chargeAccess(StructureId::FpIssueQueue, v);
+        int reads = (inst.op.srcA > 0 ? 1 : 0) +
+                    (inst.op.srcB > 0 ? 1 : 0);
+        power_.chargeAccess(StructureId::FpRegFile, v,
+                            static_cast<std::uint64_t>(reads));
+        ++interval_accum_[CTL_FP].issued;
+        it = fp_iq_.erase(it);
+        --budget;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Load/store domain
+// ---------------------------------------------------------------------
+
+bool
+Simulator::olderStoreBlocks(const Inst &load, const Inst *&forward) const
+{
+    forward = nullptr;
+    std::uint64_t load_word = load.op.memAddr >> 3;
+    for (const Inst *p : lsq_) {
+        if (p->seq >= load.seq)
+            break;
+        if (!p->isStore)
+            continue;
+        if (!p->addrKnown)
+            return true; // conservative disambiguation
+        if ((p->op.memAddr >> 3) == load_word) {
+            if (!p->dataReady)
+                return true; // matching store, data not yet ready
+            forward = p;     // newest matching store wins
+        }
+    }
+    return false;
+}
+
+void
+Simulator::startDataAccess(Inst &inst, Tick edge, bool is_write)
+{
+    const CoreConfig &c = config_.core;
+    Volt v = voltage(DomainId::LoadStore);
+
+    MemAccessOutcome outcome =
+        memory_.accessData(inst.op.memAddr, is_write);
+    power_.chargeAccess(StructureId::Dcache, v);
+    power_.chargeAccess(StructureId::L2Cache, v,
+                        static_cast<std::uint64_t>(outcome.l2Accesses));
+
+    int cycles = c.memory.l1Latency;
+    Tick abs_done = MAX_TICK;
+    if (outcome.level != MemLevel::L1) {
+        cycles += c.memory.l2Latency;
+        ++mshr_in_use_;
+        inst.usesMshr = true;
+    }
+    if (outcome.level == MemLevel::Memory) {
+        Tick ls_period = periodFromFreq(
+            clocks_.clock(DomainId::LoadStore).frequency());
+        Tick request = edge + cycles * ls_period;
+        for (int m = 0; m < outcome.memAccesses; ++m) {
+            abs_done = memory_.memory().schedule(request);
+            power_.chargeMemoryAccess();
+        }
+        // Main memory is its own clock domain: crossing back into the
+        // load/store domain pays the synchronization window.
+        abs_done += clocks_.syncWindow();
+    }
+
+    inst.issued = true;
+    inst.remainingCycles = cycles;
+    inst.absDoneTime = abs_done;
+    if (is_write)
+        inst.writeIssued = true;
+    else
+        inst.memIssued = true;
+    ls_exec_.push_back(&inst);
+}
+
+void
+Simulator::issueLoadStore(Tick edge)
+{
+    const CoreConfig &c = config_.core;
+    Volt v = voltage(DomainId::LoadStore);
+    int budget = c.memIssueWidth;
+
+    for (Inst *p : lsq_) {
+        if (budget == 0)
+            break;
+        Inst &inst = *p;
+        if (!inst.enqueued) {
+            if (clocks_.visible(DomainId::FrontEnd, inst.dispatchTime,
+                                DomainId::LoadStore, edge))
+                inst.enqueued = true;
+            continue;
+        }
+
+        if (inst.isStore) {
+            if (!inst.addrKnown &&
+                regReady(inst.op.srcA, inst.physA, DomainId::LoadStore,
+                         edge)) {
+                inst.addrKnown = true; // AGU operation
+                power_.chargeAccess(StructureId::Lsq, v);
+                --budget;
+            }
+            if (!inst.dataReady &&
+                regReady(inst.op.srcB, inst.physB, DomainId::LoadStore,
+                         edge))
+                inst.dataReady = true;
+            if (inst.addrKnown && inst.dataReady && !inst.completed) {
+                inst.completed = true;
+                inst.completeTime = edge;
+                inst.execDomain = DomainId::LoadStore;
+                ++interval_accum_[CTL_LS].issued;
+            }
+            continue;
+        }
+
+        if (!inst.isLoad || inst.memIssued)
+            continue;
+        if (!regReady(inst.op.srcA, inst.physA, DomainId::LoadStore,
+                      edge))
+            continue;
+
+        const Inst *forward = nullptr;
+        if (olderStoreBlocks(inst, forward))
+            continue;
+
+        if (forward) {
+            inst.memIssued = true;
+            inst.forwarded = true;
+            inst.remainingCycles = 1;
+            ls_exec_.push_back(&inst);
+            power_.chargeAccess(StructureId::Lsq, v);
+            ++interval_accum_[CTL_LS].issued;
+            --budget;
+            continue;
+        }
+
+        bool hit = memory_.l1d().probe(inst.op.memAddr);
+        if (!hit && mshr_in_use_ >= c.mshrCount)
+            continue; // no MSHR free; retry next cycle
+        power_.chargeAccess(StructureId::Lsq, v);
+        startDataAccess(inst, edge, false);
+        ++interval_accum_[CTL_LS].issued;
+        --budget;
+    }
+
+    // Drain committed stores into the cache with leftover bandwidth.
+    for (Inst *p : lsq_) {
+        if (budget == 0)
+            break;
+        Inst &inst = *p;
+        if (!inst.isStore || !inst.committedStore || inst.writeIssued)
+            continue;
+        bool hit = memory_.l1d().probe(inst.op.memAddr);
+        if (!hit && mshr_in_use_ >= c.mshrCount)
+            break; // stores drain in order
+        power_.chargeAccess(StructureId::Lsq, v);
+        startDataAccess(inst, edge, true);
+        --budget;
+    }
+}
+
+void
+Simulator::loadStoreTick(Tick edge)
+{
+    processCompletions(ls_exec_, DomainId::LoadStore, edge);
+    issueLoadStore(edge);
+    retireWindowHead();
+}
+
+// ---------------------------------------------------------------------
+// Measurement
+// ---------------------------------------------------------------------
+
+void
+Simulator::resetMeasurement()
+{
+    power_.reset();
+    meas_committed_base_ = committed_;
+    meas_fe_cycles_base_ = fe_cycles_;
+    meas_time_base_ = now_;
+    branches_.reset();
+    mispredicts_.reset();
+    loads_.reset();
+    stores_.reset();
+    interval_accum_ = {};
+    rob_occupancy_sum_ = 0.0;
+    interval_start_insts_ = committed_;
+    interval_start_fe_cycles_ = fe_cycles_;
+    interval_start_time_ = now_;
+}
+
+void
+Simulator::dumpStats(StatDump &dump) const
+{
+    SimStats s = stats();
+    dump.set("run.instructions", static_cast<double>(s.instructions));
+    dump.set("run.fe_cycles", static_cast<double>(s.feCycles));
+    dump.set("run.time_ps", static_cast<double>(s.time));
+    dump.set("run.cpi", s.cpi);
+    dump.set("run.epi_nj", s.epi);
+    dump.set("run.chip_energy_nj", s.chipEnergy);
+
+    dump.set("bpred.branches", static_cast<double>(s.branches));
+    dump.set("bpred.mispredicts", static_cast<double>(s.mispredicts));
+    dump.set("bpred.accuracy",
+             s.branches ? 1.0 - static_cast<double>(s.mispredicts) /
+                                    static_cast<double>(s.branches)
+                        : 0.0);
+
+    dump.set("mem.loads", static_cast<double>(s.loads));
+    dump.set("mem.stores", static_cast<double>(s.stores));
+    dump.set("mem.l1d_miss_rate", memory_.l1d().missRate());
+    dump.set("mem.l1i_miss_rate", memory_.l1i().missRate());
+    dump.set("mem.l2_miss_rate", memory_.l2().missRate());
+    dump.set("mem.main_transfers",
+             static_cast<double>(memory_.memory().transfers()));
+    dump.set("mem.channel_queueing_ps",
+             static_cast<double>(memory_.memory().queueingTime()));
+
+    for (int d = 0; d < NUM_CLOCKED_DOMAINS; ++d) {
+        auto id = static_cast<DomainId>(d);
+        std::string prefix = std::string("domain.") + domainName(id);
+        const DomainClock &clock = clocks_.clock(id);
+        dump.set(prefix + ".cycles",
+                 static_cast<double>(clock.cycles()));
+        dump.set(prefix + ".frequency_hz", clock.frequency());
+        dump.set(prefix + ".voltage", clock.voltage());
+        dump.set(prefix + ".freq_changes",
+                 static_cast<double>(clock.frequencyChanges()));
+        dump.set(prefix + ".energy_nj", power_.domainEnergy(id));
+        dump.set(prefix + ".base_energy_nj",
+                 power_.domainBaseEnergy(id));
+    }
+
+    for (int st = 0; st < NUM_STRUCTURES; ++st) {
+        auto id = static_cast<StructureId>(st);
+        dump.set(std::string("structure.") + structureName(id) +
+                     ".energy_nj",
+                 power_.structureEnergy(id));
+    }
+    dump.set("external.energy_nj", power_.externalEnergy());
+}
+
+SimStats
+Simulator::stats() const
+{
+    SimStats s;
+    s.instructions = committed_ - meas_committed_base_;
+    s.feCycles = fe_cycles_ - meas_fe_cycles_base_;
+    s.time = now_ - meas_time_base_;
+    s.chipEnergy = power_.chipEnergy();
+    s.cpi = s.instructions
+        ? static_cast<double>(s.feCycles) /
+          static_cast<double>(s.instructions)
+        : 0.0;
+    s.epi = s.instructions
+        ? s.chipEnergy / static_cast<double>(s.instructions)
+        : 0.0;
+    s.branches = branches_.value();
+    s.mispredicts = mispredicts_.value();
+    s.loads = loads_.value();
+    s.stores = stores_.value();
+    s.l1dMisses = memory_.l1d().misses().value();
+    s.l2Misses = memory_.l2().misses().value();
+    for (int d = 0; d < NUM_CLOCKED_DOMAINS; ++d) {
+        s.domainEnergy[static_cast<std::size_t>(d)] =
+            power_.domainEnergy(static_cast<DomainId>(d));
+    }
+    return s;
+}
+
+} // namespace mcd

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * The cycle-level MCD out-of-order processor simulator.
+ *
+ * Structure follows Figure 1: a front-end domain (fetch, L1I, branch
+ * prediction, rename, ROB, retire), integer and floating-point execution
+ * domains (issue queue + FUs + register file each), and a load/store
+ * domain (LSQ, L1D, unified L2), with main memory externally clocked.
+ * Each domain runs on its own jittered clock; the main loop always
+ * advances whichever clock has the earliest pending edge, so the
+ * relationship among all clock edges is tracked cycle by cycle and every
+ * cross-domain transfer (dispatch into an issue queue, register result
+ * consumption, branch-resolution redirect, cache-fill return) pays the
+ * synchronization-window penalty when edges fall too close (Section 4).
+ *
+ * The model is trace-driven on the correct path: fetch consults the real
+ * predictor hierarchy and, on a wrong prediction, stalls at the branch
+ * until it resolves plus the 7-cycle redirect penalty (wrong-path
+ * instructions are not executed; fetch energy is still charged during
+ * the redirect shadow). All Table 4 structures are modeled: 80-entry
+ * ROB, 20/15-entry issue queues, 64-entry LSQ with store-to-load
+ * forwarding and conservative disambiguation, 72+72 physical registers,
+ * MSHR-limited non-blocking caches.
+ */
+
+#ifndef MCD_CORE_SIMULATOR_HH
+#define MCD_CORE_SIMULATOR_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "clock/clock_system.hh"
+#include "common/stats.hh"
+#include "core/core_config.hh"
+#include "core/inst.hh"
+#include "core/interval.hh"
+#include "core/regfile.hh"
+#include "memory/memory_hierarchy.hh"
+#include "power/power_accountant.hh"
+#include "predictor/branch_predictor.hh"
+#include "workload/workload.hh"
+
+namespace mcd
+{
+
+/** Everything needed to instantiate one simulated machine. */
+struct SimConfig
+{
+    CoreConfig core{};
+    DvfsConfig dvfs{};
+    ClockSystemConfig clocks{};
+    EnergyConfig energy{};
+};
+
+/** Aggregate results of a run, in absolute units. */
+struct SimStats
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t feCycles = 0;
+    Tick time = 0;               //!< simulated wall-clock (ps)
+    NanoJoule chipEnergy = 0.0;
+    double cpi = 0.0;            //!< front-end cycles per instruction
+    double epi = 0.0;            //!< nJ per instruction
+    std::uint64_t branches = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t l1dMisses = 0;
+    std::uint64_t l2Misses = 0;
+    std::array<NanoJoule, NUM_CLOCKED_DOMAINS> domainEnergy{};
+};
+
+/** The MCD processor simulator. */
+class Simulator
+{
+  public:
+    /**
+     * @param config      machine configuration
+     * @param workload    correct-path micro-op stream (not owned)
+     * @param controller  frequency controller, may be null (constant
+     *                    maximum frequencies)
+     */
+    Simulator(const SimConfig &config, WorkloadGenerator &workload,
+              FrequencyController *controller = nullptr);
+
+    /** Run until `instructions` more have committed. */
+    void run(std::uint64_t instructions);
+
+    /**
+     * Reset measurement state (energy, cycle/instruction counters,
+     * interval accumulators) without flushing microarchitectural state;
+     * used to exclude warm-up from measurements.
+     */
+    void resetMeasurement();
+
+    /** Per-interval observer (figures 2/3 traces), called after the
+     *  controller. */
+    void
+    setIntervalObserver(std::function<void(const IntervalStats &)> cb)
+    {
+        interval_observer_ = std::move(cb);
+    }
+
+    /** Results so far. */
+    SimStats stats() const;
+
+    /**
+     * Full machine-readable statistics dump: run counters, per-domain
+     * cycles/frequencies/energy, per-structure energy, cache and
+     * predictor statistics, and main-memory channel metrics.
+     */
+    void dumpStats(StatDump &dump) const;
+
+    ClockSystem &clocks() { return clocks_; }
+    const PowerAccountant &power() const { return power_; }
+    MemoryHierarchy &memory() { return memory_; }
+    std::uint64_t committed() const { return committed_; }
+    Tick now() const { return now_; }
+    const SimConfig &config() const { return config_; }
+
+  private:
+    SimConfig config_;
+    WorkloadGenerator *workload_;
+    FrequencyController *controller_;
+
+    DvfsModel dvfs_;
+    ClockSystem clocks_;
+    EnergyModel energy_model_;
+    PowerAccountant power_;
+    MemoryHierarchy memory_;
+    BranchPredictor bpred_;
+
+    PhysRegFile int_regs_;
+    PhysRegFile fp_regs_;
+    RenameMap rename_;
+
+    // Program-order window; references remain valid while entries live.
+    std::deque<Inst> window_;
+    std::uint64_t next_seq_ = 0;
+    std::deque<Inst *> rob_; //!< uncommitted instructions, oldest first
+    int rob_count_ = 0;
+
+    std::vector<Inst *> int_iq_;
+    std::vector<Inst *> fp_iq_;
+    std::deque<Inst *> lsq_;
+    int lsq_live_ = 0;
+
+    std::vector<Inst *> int_exec_;
+    std::vector<Inst *> fp_exec_;
+    std::vector<Inst *> ls_exec_;
+
+    // Non-pipelined unit occupancy (divide/sqrt), in remaining cycles.
+    int int_div_busy_ = 0;
+    int fp_div_busy_ = 0;
+
+    int mshr_in_use_ = 0;
+
+    // Fetch state.
+    bool have_pending_op_ = false;
+    MicroOp pending_op_{};
+    std::uint64_t last_fetch_line_ = ~0ull;
+    Tick icache_stall_until_ = 0;
+    const Inst *stall_branch_ = nullptr; //!< mispredicted branch we wait on
+    Tick branch_resolve_time_ = MAX_TICK;
+    DomainId branch_resolve_domain_ = DomainId::Integer;
+    int redirect_penalty_left_ = 0;
+
+    // Global progress.
+    Tick now_ = 0;
+    std::uint64_t committed_ = 0;
+    std::uint64_t fe_cycles_ = 0;
+    std::uint64_t stop_at_ = ~0ull; //!< run() commit ceiling
+
+    // Measurement window (excludes warm-up once reset).
+    std::uint64_t meas_committed_base_ = 0;
+    std::uint64_t meas_fe_cycles_base_ = 0;
+    Tick meas_time_base_ = 0;
+
+    // Event counters.
+    Counter branches_;
+    Counter mispredicts_;
+    Counter loads_;
+    Counter stores_;
+
+    // Interval machinery.
+    std::uint64_t interval_index_ = 0;
+    std::uint64_t interval_start_insts_ = 0;
+    std::uint64_t interval_start_fe_cycles_ = 0;
+    Tick interval_start_time_ = 0;
+    struct DomainAccum
+    {
+        double occupancySum = 0.0;
+        std::uint64_t cycles = 0;
+        std::uint64_t busyCycles = 0;
+        std::uint64_t issued = 0;
+    };
+    std::array<DomainAccum, NUM_CONTROLLED> interval_accum_{};
+    double rob_occupancy_sum_ = 0.0; //!< per-FE-cycle, interval-local
+    std::function<void(const IntervalStats &)> interval_observer_;
+
+    // --- main loop ---
+    void step();
+    void tickDomain(DomainId domain, Tick edge);
+
+    // --- per-domain stages ---
+    void frontEndTick(Tick edge);
+    void integerTick(Tick edge);
+    void fpTick(Tick edge);
+    void loadStoreTick(Tick edge);
+
+    // Front-end helpers.
+    void commitStage(Tick edge);
+    void fetchAndDispatch(Tick edge);
+    bool dispatchOne(const MicroOp &op, Tick edge);
+    bool resourcesAvailable(const MicroOp &op) const;
+    void handleIntervalBoundary(Tick edge);
+
+    // Execution helpers.
+    void processCompletions(std::vector<Inst *> &exec_list,
+                            DomainId domain, Tick edge);
+    void completeInst(Inst &inst, DomainId domain, Tick edge);
+    void issueInteger(Tick edge);
+    void issueFp(Tick edge);
+    void issueLoadStore(Tick edge);
+    bool operandsReady(const Inst &inst, DomainId domain,
+                       Tick edge) const;
+    bool regReady(int logical, int phys, DomainId domain,
+                  Tick edge) const;
+    int execLatency(OpClass cls) const;
+
+    // Load/store helpers.
+    bool olderStoreBlocks(const Inst &load, const Inst *&forward) const;
+    void startDataAccess(Inst &inst, Tick edge, bool is_write);
+    void retireWindowHead();
+
+    Volt voltage(DomainId domain) const;
+    std::uint64_t lineOf(std::uint64_t addr) const;
+};
+
+} // namespace mcd
+
+#endif // MCD_CORE_SIMULATOR_HH

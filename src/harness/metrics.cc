@@ -1,0 +1,50 @@
+#include "harness/metrics.hh"
+
+#include "common/logging.hh"
+
+namespace mcd
+{
+
+ComparisonMetrics
+compare(const SimStats &ref, const SimStats &x)
+{
+    if (ref.time <= 0 || ref.chipEnergy <= 0.0)
+        mcd_panic("reference run has no measured time/energy");
+
+    ComparisonMetrics m;
+    double t_ref = static_cast<double>(ref.time);
+    double t_x = static_cast<double>(x.time);
+    m.perfDegradation = (t_x - t_ref) / t_ref;
+    m.energySavings = (ref.chipEnergy - x.chipEnergy) / ref.chipEnergy;
+    m.edpImprovement =
+        1.0 - (x.chipEnergy * t_x) / (ref.chipEnergy * t_ref);
+    m.powerSavings =
+        1.0 - (x.chipEnergy / t_x) / (ref.chipEnergy / t_ref);
+    m.epiReduction = (ref.epi - x.epi) / ref.epi;
+    m.cpiIncrease = (x.cpi - ref.cpi) / ref.cpi;
+    return m;
+}
+
+double
+meanOf(const std::vector<ComparisonMetrics> &all,
+       double ComparisonMetrics::*field)
+{
+    if (all.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &m : all)
+        sum += m.*field;
+    return sum / static_cast<double>(all.size());
+}
+
+double
+powerPerfRatio(const std::vector<ComparisonMetrics> &all)
+{
+    double deg = meanOf(all, &ComparisonMetrics::perfDegradation);
+    double power = meanOf(all, &ComparisonMetrics::powerSavings);
+    if (deg <= 0.0)
+        return 0.0;
+    return power / deg;
+}
+
+} // namespace mcd

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The paper's derived metrics (Section 5): performance degradation,
+ * energy savings, energy-delay-product improvement, power savings, EPI
+ * reduction and CPI increase, always of a configuration X against a
+ * reference R (Table 6 uses the baseline MCD processor as R; Figure 4
+ * uses the fully synchronous processor).
+ */
+
+#ifndef MCD_HARNESS_METRICS_HH
+#define MCD_HARNESS_METRICS_HH
+
+#include <vector>
+
+#include "core/simulator.hh"
+
+namespace mcd
+{
+
+/** Relative metrics of a run against a reference run. */
+struct ComparisonMetrics
+{
+    double perfDegradation = 0.0; //!< (T_x - T_r) / T_r
+    double energySavings = 0.0;   //!< (E_r - E_x) / E_r
+    double edpImprovement = 0.0;  //!< 1 - (E_x T_x)/(E_r T_r)
+    double powerSavings = 0.0;    //!< 1 - (E_x/T_x)/(E_r/T_r)
+    double epiReduction = 0.0;    //!< (EPI_r - EPI_x)/EPI_r
+    double cpiIncrease = 0.0;     //!< (CPI_x - CPI_r)/CPI_r
+};
+
+/** Compute all relative metrics of `x` against `ref`. */
+ComparisonMetrics compare(const SimStats &ref, const SimStats &x);
+
+/** Arithmetic mean of a metric across applications. */
+double
+meanOf(const std::vector<ComparisonMetrics> &all,
+       double ComparisonMetrics::*field);
+
+/**
+ * Power-savings-to-performance-degradation ratio of a set of per-
+ * application comparisons: mean % power savings / mean % performance
+ * degradation (Section 5 / [21]).
+ */
+double powerPerfRatio(const std::vector<ComparisonMetrics> &all);
+
+} // namespace mcd
+
+#endif // MCD_HARNESS_METRICS_HH

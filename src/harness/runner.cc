@@ -1,0 +1,264 @@
+#include "harness/runner.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace mcd
+{
+
+void
+RunnerConfig::applyEnvOverrides()
+{
+    if (const char *s = std::getenv("MCD_INSNS")) {
+        long long v = std::atoll(s);
+        if (v > 0)
+            instructions = static_cast<std::uint64_t>(v);
+    }
+    if (const char *s = std::getenv("MCD_WARMUP")) {
+        long long v = std::atoll(s);
+        if (v >= 0)
+            warmup = static_cast<std::uint64_t>(v);
+    }
+    if (const char *s = std::getenv("MCD_INTERVAL")) {
+        long long v = std::atoll(s);
+        if (v > 0)
+            intervalInstructions = static_cast<int>(v);
+    }
+}
+
+Runner::Runner(const RunnerConfig &config)
+    : config_(config)
+{
+}
+
+SimStats
+Runner::runOnce(const std::string &bench, ClockMode mode,
+                Hertz start_freq, FrequencyController *controller,
+                std::function<void(const IntervalStats &)> observer)
+{
+    auto workload = BenchmarkFactory::create(bench, horizon());
+
+    SimConfig sim_config;
+    sim_config.core = config_.core;
+    sim_config.core.intervalInstructions = config_.intervalInstructions;
+    sim_config.dvfs = config_.dvfs;
+    sim_config.energy = config_.energy;
+    sim_config.clocks.mode = mode;
+    sim_config.clocks.startFreq = start_freq;
+    sim_config.clocks.seed = config_.clockSeed;
+    sim_config.clocks.jittered = config_.jitter;
+
+    Simulator sim(sim_config, *workload, controller);
+    if (observer)
+        sim.setIntervalObserver(std::move(observer));
+
+    if (config_.warmup > 0) {
+        sim.run(config_.warmup);
+        sim.resetMeasurement();
+    }
+    sim.run(config_.instructions);
+    return sim.stats();
+}
+
+SimStats
+Runner::runSynchronous(const std::string &bench, Hertz freq)
+{
+    return runOnce(bench, ClockMode::Synchronous, freq, nullptr, {});
+}
+
+SimStats
+Runner::runMcdBaseline(const std::string &bench,
+                       std::vector<IntervalProfile> *profile)
+{
+    ProfilingController profiler;
+    SimStats stats = runOnce(bench, ClockMode::Mcd,
+                             config_.dvfs.freqMax, &profiler, {});
+    if (profile)
+        *profile = profiler.profile();
+    return stats;
+}
+
+SimStats
+Runner::runAttackDecay(
+    const std::string &bench, const AttackDecayConfig &adc,
+    std::function<void(const IntervalStats &)> observer)
+{
+    AttackDecayController controller(adc);
+    return runOnce(bench, ClockMode::Mcd, config_.dvfs.freqMax,
+                   &controller, std::move(observer));
+}
+
+SimStats
+Runner::runSchedule(const std::string &bench,
+                    const std::vector<FrequencyVector> &schedule)
+{
+    ScheduleController controller(schedule);
+    return runOnce(bench, ClockMode::Mcd, config_.dvfs.freqMax,
+                   &controller, {});
+}
+
+SimStats
+Runner::runWithController(
+    const std::string &bench, ClockMode mode, Hertz start_freq,
+    FrequencyController &controller,
+    std::function<void(const IntervalStats &)> observer)
+{
+    return runOnce(bench, mode, start_freq, &controller,
+                   std::move(observer));
+}
+
+OfflineResult
+Runner::runOfflineDynamic(const std::string &bench, double target_deg,
+                          const SimStats &mcd_base,
+                          const std::vector<IntervalProfile> &profile)
+{
+    DvfsModel dvfs(config_.dvfs);
+    double t_base = static_cast<double>(mcd_base.time);
+
+    auto degradation = [&](const SimStats &s) {
+        return (static_cast<double>(s.time) - t_base) / t_base;
+    };
+
+    // Phase 1: binary-search a shared margin. Margin is monotone:
+    // larger margin -> higher frequencies -> less degradation.
+    double lo = 0.0;   // most aggressive
+    double hi = 1.0;   // all domains at maximum
+    OfflineResult best;
+    bool have_best = false;
+
+    auto consider = [&](const std::array<double, NUM_CONTROLLED>
+                            &margins,
+                        double shared_margin) {
+        auto schedule = deriveSchedule(profile, dvfs, margins);
+        SimStats stats = runSchedule(bench, schedule);
+        double deg = degradation(stats);
+        bool accepted = deg <= target_deg &&
+            (!have_best || stats.chipEnergy < best.stats.chipEnergy);
+        if (accepted) {
+            best.stats = stats;
+            best.margin = shared_margin;
+            best.achievedDeg = deg;
+            have_best = true;
+        }
+        return std::pair<double, bool>(deg, accepted);
+    };
+
+    double shared = 1.0;
+    for (int iter = 0; iter < 7; ++iter) {
+        double margin = 0.5 * (lo + hi);
+        std::array<double, NUM_CONTROLLED> margins;
+        margins.fill(margin);
+        auto [deg, accepted] = consider(margins, margin);
+        (void)accepted;
+        if (deg > target_deg) {
+            lo = margin; // too slow: be less aggressive
+        } else {
+            hi = margin; // within cap: try more aggressive
+            shared = margin;
+        }
+    }
+
+    if (!have_best) {
+        // Even margin = 1 (everything at f_max) should satisfy the cap;
+        // fall back to it explicitly.
+        std::array<double, NUM_CONTROLLED> margins;
+        margins.fill(1.0);
+        consider(margins, 1.0);
+        if (!have_best) {
+            auto schedule = deriveSchedule(profile, dvfs, 1.0);
+            best.stats = runSchedule(bench, schedule);
+            best.margin = 1.0;
+            best.achievedDeg = degradation(best.stats);
+            return best;
+        }
+    }
+
+    // Phase 2: per-domain refinement (coordinate descent). A shared
+    // margin is gated by the single most sensitive domain; the original
+    // shaker algorithm distributes slack per domain, which this
+    // approximates by independently lowering each domain's margin while
+    // the cap still holds.
+    std::array<double, NUM_CONTROLLED> margins;
+    margins.fill(shared);
+    for (int slot = 0; slot < NUM_CONTROLLED; ++slot) {
+        auto s = static_cast<std::size_t>(slot);
+        for (double factor : {0.5, 0.25, 0.0}) {
+            double saved = margins[s];
+            margins[s] = shared * factor;
+            auto [deg, accepted] = consider(margins, shared);
+            (void)deg;
+            if (!accepted) {
+                margins[s] = saved; // revert and stop lowering
+                break;
+            }
+        }
+    }
+    return best;
+}
+
+GlobalResult
+Runner::runGlobalAtDegradation(const std::string &bench,
+                               double target_deg)
+{
+    GlobalResult result;
+    result.freq = std::clamp(
+        config_.dvfs.freqMax / (1.0 + std::max(0.0, target_deg)),
+        config_.dvfs.freqMin, config_.dvfs.freqMax);
+    result.stats = runSynchronous(bench, result.freq);
+    return result;
+}
+
+GlobalResult
+Runner::runGlobalMatching(const std::string &bench, Tick target_time)
+{
+    const Hertz f_max = config_.dvfs.freqMax;
+    const Hertz f_min = config_.dvfs.freqMin;
+
+    // Fit T(f) = a + b/f from two calibration runs.
+    Hertz f1 = f_max;
+    Hertz f2 = 0.5 * (f_max + f_min);
+    SimStats s1 = runSynchronous(bench, f1);
+    SimStats s2 = runSynchronous(bench, f2);
+    double t1 = static_cast<double>(s1.time);
+    double t2 = static_cast<double>(s2.time);
+    double b = (t2 - t1) / (1.0 / f2 - 1.0 / f1);
+    double a = t1 - b / f1;
+
+    auto solve = [&](double target) {
+        double denom = target - a;
+        if (denom <= 0.0 || b <= 0.0)
+            return f_max;
+        return std::clamp(b / denom, f_min, f_max);
+    };
+
+    double target = static_cast<double>(target_time);
+    Hertz f = solve(target);
+    SimStats stats = runSynchronous(bench, f);
+
+    // One secant refinement against the measured point.
+    double t_f = static_cast<double>(stats.time);
+    if (std::abs(t_f - target) / target > 0.002) {
+        // Re-fit b through the new measurement, keeping a.
+        double b2 = (t_f - a) * f;
+        double denom = target - a;
+        if (denom > 0.0 && b2 > 0.0) {
+            Hertz f_refined = std::clamp(b2 / denom, f_min, f_max);
+            SimStats refined = runSynchronous(bench, f_refined);
+            if (std::abs(static_cast<double>(refined.time) - target) <
+                std::abs(t_f - target)) {
+                stats = refined;
+                f = f_refined;
+            }
+        }
+    }
+
+    GlobalResult result;
+    result.stats = stats;
+    result.freq = f;
+    return result;
+}
+
+} // namespace mcd

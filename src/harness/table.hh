@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Plain-text table and CSV rendering for the bench binaries, so each
+ * bench prints the same rows/series the paper's tables and figures
+ * report.
+ */
+
+#ifndef MCD_HARNESS_TABLE_HH
+#define MCD_HARNESS_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace mcd
+{
+
+/** Column-aligned text table with an optional title. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = "");
+
+    void setHeader(std::vector<std::string> header);
+    void addRow(std::vector<std::string> row);
+
+    /** Render with aligned columns. */
+    std::string render() const;
+
+    /** Render as CSV (no title). */
+    std::string csv() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a fraction as a percentage string, e.g. 0.032 -> "3.2%". */
+std::string pct(double fraction, int decimals = 1);
+
+/** Format a plain double with fixed decimals. */
+std::string num(double value, int decimals = 2);
+
+/** Format a frequency in GHz. */
+std::string ghz(double hz, int decimals = 3);
+
+} // namespace mcd
+
+#endif // MCD_HARNESS_TABLE_HH

@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Unit and property tests for the clock substrate: the Table 1 DVFS
+ * model (320-point grid, linear V(f), 49.1 ns/MHz slew, 300 ps sync
+ * window), jittered domain clocks, and the cross-domain visibility rule.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "clock/clock_system.hh"
+#include "clock/domain_clock.hh"
+#include "clock/dvfs_model.hh"
+#include "common/stats.hh"
+
+namespace mcd
+{
+namespace
+{
+
+TEST(DvfsModel, Table1Defaults)
+{
+    DvfsModel dvfs;
+    EXPECT_EQ(dvfs.numPoints(), 320);
+    EXPECT_DOUBLE_EQ(dvfs.config().freqMax, 1.0e9);
+    EXPECT_DOUBLE_EQ(dvfs.config().freqMin, 250.0e6);
+    EXPECT_DOUBLE_EQ(dvfs.config().voltMax, 1.20);
+    EXPECT_DOUBLE_EQ(dvfs.config().voltMin, 0.65);
+    EXPECT_EQ(dvfs.syncWindow(), 300); // 30% of the 1 GHz period
+}
+
+TEST(DvfsModel, GridEndpoints)
+{
+    DvfsModel dvfs;
+    EXPECT_DOUBLE_EQ(dvfs.pointFreq(0), 250.0e6);
+    EXPECT_DOUBLE_EQ(dvfs.pointFreq(319), 1.0e9);
+}
+
+TEST(DvfsModel, GridSpacingIsLinear)
+{
+    DvfsModel dvfs;
+    double step = dvfs.stepHz();
+    EXPECT_NEAR(step, (1.0e9 - 250.0e6) / 319.0, 1e-6);
+    for (int i = 1; i < 320; ++i)
+        EXPECT_NEAR(dvfs.pointFreq(i) - dvfs.pointFreq(i - 1), step,
+                    1e-3);
+}
+
+TEST(DvfsModel, QuantizeClampsToRange)
+{
+    DvfsModel dvfs;
+    EXPECT_DOUBLE_EQ(dvfs.quantize(5.0e9), 1.0e9);
+    EXPECT_DOUBLE_EQ(dvfs.quantize(1.0e6), 250.0e6);
+}
+
+TEST(DvfsModel, QuantizeSnapsToNearestPoint)
+{
+    DvfsModel dvfs;
+    // A frequency halfway between two grid points snaps to one of them.
+    Hertz f = dvfs.pointFreq(100) + dvfs.stepHz() * 0.4;
+    EXPECT_DOUBLE_EQ(dvfs.quantize(f), dvfs.pointFreq(100));
+    f = dvfs.pointFreq(100) + dvfs.stepHz() * 0.6;
+    EXPECT_DOUBLE_EQ(dvfs.quantize(f), dvfs.pointFreq(101));
+}
+
+TEST(DvfsModel, VoltageMapEndpoints)
+{
+    DvfsModel dvfs;
+    EXPECT_DOUBLE_EQ(dvfs.voltage(1.0e9), 1.20);
+    EXPECT_DOUBLE_EQ(dvfs.voltage(250.0e6), 0.65);
+}
+
+TEST(DvfsModel, VoltageMapLinearMidpoint)
+{
+    DvfsModel dvfs;
+    EXPECT_NEAR(dvfs.voltage(625.0e6), 0.925, 1e-12);
+}
+
+TEST(DvfsModel, VoltageClampsOutOfRange)
+{
+    DvfsModel dvfs;
+    EXPECT_DOUBLE_EQ(dvfs.voltage(2.0e9), 1.20);
+    EXPECT_DOUBLE_EQ(dvfs.voltage(1.0e3), 0.65);
+}
+
+TEST(DvfsModel, SlewTimeMatchesXScaleRate)
+{
+    DvfsModel dvfs;
+    // 750 MHz of change at 49.1 ns/MHz = 36,825 ns.
+    EXPECT_EQ(dvfs.slewTime(1.0e9, 250.0e6),
+              static_cast<Tick>(750.0 * 49.1 * 1000 + 0.5));
+    EXPECT_EQ(dvfs.slewTime(250.0e6, 1.0e9),
+              dvfs.slewTime(1.0e9, 250.0e6));
+}
+
+class DvfsQuantizeProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DvfsQuantizeProperty, QuantizedValueIsOnGridAndClosest)
+{
+    DvfsModel dvfs;
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    for (int i = 0; i < 200; ++i) {
+        Hertz f = rng.uniform(100.0e6, 1.4e9);
+        Hertz q = dvfs.quantize(f);
+        int idx = dvfs.pointIndex(q);
+        EXPECT_DOUBLE_EQ(dvfs.pointFreq(idx), q);
+        if (f >= dvfs.config().freqMin && f <= dvfs.config().freqMax) {
+            EXPECT_LE(std::abs(q - f), dvfs.stepHz() / 2 + 1e-6);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DvfsQuantizeProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(DomainClock, EdgesAreStrictlyMonotonic)
+{
+    DvfsModel dvfs;
+    DomainClock clock(DomainId::Integer, dvfs, 1.0e9, 99);
+    Tick last = -1;
+    for (int i = 0; i < 100000; ++i) {
+        Tick edge = clock.advance();
+        EXPECT_GT(edge, last);
+        last = edge;
+    }
+}
+
+TEST(DomainClock, JitterFreeClockHasExactPeriod)
+{
+    DvfsModel dvfs;
+    DomainClock clock(DomainId::Integer, dvfs, 1.0e9, 1, false);
+    Tick first = clock.advance();
+    for (int i = 1; i <= 1000; ++i)
+        EXPECT_EQ(clock.advance(), first + 1000 * i);
+}
+
+TEST(DomainClock, MeanPeriodMatchesFrequencyUnderJitter)
+{
+    DvfsModel dvfs;
+    DomainClock clock(DomainId::Integer, dvfs, 1.0e9, 7);
+    Tick start = clock.advance();
+    const int n = 200000;
+    Tick end = start;
+    for (int i = 0; i < n; ++i)
+        end = clock.advance();
+    double mean_period =
+        static_cast<double>(end - start) / static_cast<double>(n);
+    EXPECT_NEAR(mean_period, 1000.0, 1.0);
+}
+
+TEST(DomainClock, JitterDoesNotAccumulate)
+{
+    // Edge deviation from the nominal grid stays bounded (the jitter is
+    // per-edge, not a random walk of the period).
+    DvfsModel dvfs;
+    DomainClock clock(DomainId::Integer, dvfs, 1.0e9, 21, true);
+    for (int i = 1; i <= 50000; ++i) {
+        Tick edge = clock.advance();
+        double nominal = static_cast<double>(i - 1) * 1000.0;
+        EXPECT_LT(std::abs(static_cast<double>(edge) - nominal),
+                  2000.0);
+    }
+}
+
+TEST(DomainClock, DeterministicPerSeed)
+{
+    DvfsModel dvfs;
+    DomainClock a(DomainId::Integer, dvfs, 1.0e9, 5);
+    DomainClock b(DomainId::Integer, dvfs, 1.0e9, 5);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_EQ(a.advance(), b.advance());
+}
+
+TEST(DomainClock, SlewReachesTargetGradually)
+{
+    DvfsModel dvfs;
+    DomainClock clock(DomainId::Integer, dvfs, 1.0e9, 3, false);
+    clock.setTargetFrequency(500.0e6);
+    EXPECT_TRUE(clock.slewing());
+    EXPECT_DOUBLE_EQ(clock.frequency(), 1.0e9); // not yet moved
+
+    // 500 MHz of change needs 49.1 ns/MHz = 24,550 ns of clock time.
+    Tick expected_slew = dvfs.slewTime(1.0e9, 500.0e6);
+    Tick start = clock.lastEdge();
+    int guard = 0;
+    while (clock.slewing() && guard++ < 100000)
+        clock.advance();
+    EXPECT_FALSE(clock.slewing());
+    EXPECT_DOUBLE_EQ(clock.frequency(), dvfs.quantize(500.0e6));
+    Tick elapsed = clock.lastEdge() - start;
+    EXPECT_NEAR(static_cast<double>(elapsed),
+                static_cast<double>(expected_slew),
+                static_cast<double>(expected_slew) * 0.05 + 3000);
+}
+
+TEST(DomainClock, FrequencyMonotoneDuringSlew)
+{
+    DvfsModel dvfs;
+    DomainClock clock(DomainId::Integer, dvfs, 400.0e6, 3, false);
+    clock.setTargetFrequency(900.0e6);
+    double prev = clock.frequency();
+    while (clock.slewing()) {
+        clock.advance();
+        EXPECT_GE(clock.frequency(), prev - 1e-6);
+        prev = clock.frequency();
+    }
+    EXPECT_DOUBLE_EQ(clock.frequency(), dvfs.quantize(900.0e6));
+}
+
+TEST(DomainClock, ExecutesThroughFrequencyChange)
+{
+    // The XScale model: the clock keeps producing edges during a slew.
+    DvfsModel dvfs;
+    DomainClock clock(DomainId::Integer, dvfs, 1.0e9, 3, false);
+    clock.setTargetFrequency(250.0e6);
+    std::uint64_t before = clock.cycles();
+    for (int i = 0; i < 1000; ++i)
+        clock.advance();
+    EXPECT_EQ(clock.cycles(), before + 1000);
+}
+
+TEST(DomainClock, SetFrequencyImmediateSkipsSlew)
+{
+    DvfsModel dvfs;
+    DomainClock clock(DomainId::Integer, dvfs, 1.0e9, 3, false);
+    clock.setFrequencyImmediate(500.0e6);
+    EXPECT_FALSE(clock.slewing());
+    EXPECT_DOUBLE_EQ(clock.frequency(), dvfs.quantize(500.0e6));
+}
+
+TEST(DomainClock, TargetIsQuantized)
+{
+    DvfsModel dvfs;
+    DomainClock clock(DomainId::Integer, dvfs, 1.0e9, 3, false);
+    Hertz q = clock.setTargetFrequency(501.234e6);
+    EXPECT_DOUBLE_EQ(q, dvfs.quantize(501.234e6));
+    EXPECT_DOUBLE_EQ(clock.targetFrequency(), q);
+}
+
+TEST(DomainClock, FrequencyChangeCounter)
+{
+    DvfsModel dvfs;
+    DomainClock clock(DomainId::Integer, dvfs, 1.0e9, 3, false);
+    EXPECT_EQ(clock.frequencyChanges(), 0u);
+    clock.setTargetFrequency(900.0e6);
+    clock.setTargetFrequency(900.0e6); // no-op: same target
+    clock.setTargetFrequency(800.0e6);
+    EXPECT_EQ(clock.frequencyChanges(), 2u);
+}
+
+TEST(DomainClock, VoltageTracksFrequency)
+{
+    DvfsModel dvfs;
+    DomainClock clock(DomainId::Integer, dvfs, 1.0e9, 3, false);
+    EXPECT_DOUBLE_EQ(clock.voltage(), 1.20);
+    clock.setFrequencyImmediate(250.0e6);
+    EXPECT_DOUBLE_EQ(clock.voltage(), 0.65);
+}
+
+TEST(ClockSystem, McdModeHasIndependentClocks)
+{
+    DvfsModel dvfs;
+    ClockSystem clocks(dvfs, ClockSystemConfig{});
+    EXPECT_FALSE(clocks.sameClock(DomainId::FrontEnd,
+                                  DomainId::Integer));
+    EXPECT_TRUE(clocks.sameClock(DomainId::Integer,
+                                 DomainId::Integer));
+    clocks.clock(DomainId::Integer).setFrequencyImmediate(500.0e6);
+    EXPECT_DOUBLE_EQ(clocks.clock(DomainId::FrontEnd).frequency(),
+                     1.0e9);
+}
+
+TEST(ClockSystem, SynchronousModeSharesOneClock)
+{
+    DvfsModel dvfs;
+    ClockSystemConfig config;
+    config.mode = ClockMode::Synchronous;
+    ClockSystem clocks(dvfs, config);
+    EXPECT_TRUE(clocks.sameClock(DomainId::FrontEnd,
+                                 DomainId::LoadStore));
+    clocks.clock(DomainId::Integer).setFrequencyImmediate(500.0e6);
+    EXPECT_DOUBLE_EQ(clocks.clock(DomainId::FrontEnd).frequency(),
+                     dvfs.quantize(500.0e6));
+}
+
+TEST(ClockSystem, VisibilityWithinSameClockIsImmediate)
+{
+    DvfsModel dvfs;
+    ClockSystemConfig config;
+    config.mode = ClockMode::Synchronous;
+    ClockSystem clocks(dvfs, config);
+    EXPECT_TRUE(clocks.visible(DomainId::Integer, 1000,
+                               DomainId::FrontEnd, 1000));
+    EXPECT_FALSE(clocks.visible(DomainId::Integer, 1000,
+                                DomainId::FrontEnd, 999));
+}
+
+TEST(ClockSystem, CrossClockVisibilityHonorsSyncWindow)
+{
+    DvfsModel dvfs;
+    ClockSystem clocks(dvfs, ClockSystemConfig{});
+    // Written at t=1000: readable only at edges >= 1300.
+    EXPECT_FALSE(clocks.visible(DomainId::Integer, 1000,
+                                DomainId::FrontEnd, 1299));
+    EXPECT_TRUE(clocks.visible(DomainId::Integer, 1000,
+                               DomainId::FrontEnd, 1300));
+    EXPECT_FALSE(clocks.visible(DomainId::Integer, 1000,
+                                DomainId::FrontEnd, 900));
+}
+
+TEST(ClockSystem, SameDomainNeverPaysSyncWindow)
+{
+    DvfsModel dvfs;
+    ClockSystem clocks(dvfs, ClockSystemConfig{});
+    EXPECT_TRUE(clocks.visible(DomainId::Integer, 1000,
+                               DomainId::Integer, 1001));
+}
+
+TEST(ClockSystem, SyncWindowZeroInSynchronousMode)
+{
+    DvfsModel dvfs;
+    ClockSystemConfig config;
+    config.mode = ClockMode::Synchronous;
+    ClockSystem clocks(dvfs, config);
+    EXPECT_EQ(clocks.syncWindow(), 0);
+}
+
+class ClockFrequencyProperty : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ClockFrequencyProperty, MeanPeriodTracksEveryGridFrequency)
+{
+    DvfsModel dvfs;
+    Hertz f = dvfs.quantize(GetParam());
+    DomainClock clock(DomainId::LoadStore, dvfs, f, 17);
+    Tick start = clock.advance();
+    const int n = 20000;
+    Tick end = start;
+    for (int i = 0; i < n; ++i)
+        end = clock.advance();
+    double mean_period =
+        static_cast<double>(end - start) / static_cast<double>(n);
+    EXPECT_NEAR(mean_period, 1e12 / f, 1e12 / f * 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Frequencies, ClockFrequencyProperty,
+    ::testing::Values(250.0e6, 333.0e6, 500.0e6, 625.0e6, 750.0e6,
+                      875.0e6, 1.0e9));
+
+} // namespace
+} // namespace mcd

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Unit tests for the common substrate: time types, RNG determinism and
+ * distribution quality, and the statistics primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace mcd
+{
+namespace
+{
+
+TEST(Types, PeriodFrequencyRoundTrip)
+{
+    EXPECT_EQ(periodFromFreq(1.0e9), 1000);
+    EXPECT_EQ(periodFromFreq(250.0e6), 4000);
+    EXPECT_DOUBLE_EQ(freqFromPeriod(1000), 1.0e9);
+    EXPECT_DOUBLE_EQ(freqFromPeriod(4000), 250.0e6);
+}
+
+TEST(Types, PeriodRoundsToNearestTick)
+{
+    // 666.67 MHz -> 1500.0 ps
+    EXPECT_EQ(periodFromFreq(2.0e9 / 3.0), 1500);
+}
+
+TEST(Types, DomainNames)
+{
+    EXPECT_STREQ(domainName(DomainId::FrontEnd), "front-end");
+    EXPECT_STREQ(domainName(DomainId::Integer), "integer");
+    EXPECT_STREQ(domainName(DomainId::FloatingPoint), "floating-point");
+    EXPECT_STREQ(domainName(DomainId::LoadStore), "load-store");
+    EXPECT_STREQ(domainName(DomainId::External), "external");
+}
+
+TEST(Types, ControllableDomainsExcludeFrontEndAndExternal)
+{
+    for (DomainId id : CONTROLLABLE_DOMAINS) {
+        EXPECT_NE(id, DomainId::FrontEnd);
+        EXPECT_NE(id, DomainId::External);
+    }
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(1234), b(1234);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform(3.0, 5.0);
+        EXPECT_GE(u, 3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(13);
+    RunningStats stats;
+    for (int i = 0; i < 200000; ++i)
+        stats.push(rng.normal());
+    EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+    EXPECT_NEAR(stats.stddev(), 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaled)
+{
+    Rng rng(17);
+    RunningStats stats;
+    for (int i = 0; i < 100000; ++i)
+        stats.push(rng.normal(5.0, 110.0));
+    EXPECT_NEAR(stats.mean(), 5.0, 2.0);
+    EXPECT_NEAR(stats.stddev(), 110.0, 3.0);
+}
+
+TEST(Rng, NormalIsBoundedByTableTails)
+{
+    Rng rng(19);
+    for (int i = 0; i < 100000; ++i) {
+        double x = rng.normal();
+        EXPECT_LT(std::abs(x), 5.0);
+    }
+}
+
+TEST(Rng, RangeWithinBound)
+{
+    Rng rng(23);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.range(17), 17u);
+}
+
+TEST(Rng, RangeZeroBound)
+{
+    Rng rng(23);
+    EXPECT_EQ(rng.range(0), 0u);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(29);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceFrequencyMatchesProbability)
+{
+    Rng rng(31);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BurstLengthRespectsCap)
+{
+    Rng rng(37);
+    for (int i = 0; i < 1000; ++i) {
+        int len = rng.burstLength(0.9, 8);
+        EXPECT_GE(len, 1);
+        EXPECT_LE(len, 8);
+    }
+}
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(5);
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(RunningStats, Empty)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSequence)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.push(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance of this classic sequence is 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleValue)
+{
+    RunningStats s;
+    s.push(42.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 42.0);
+    EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(RunningStats, Reset)
+{
+    RunningStats s;
+    s.push(1.0);
+    s.push(2.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Histogram, BinAssignment)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.push(0.5);
+    h.push(5.5);
+    h.push(9.99);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(5), 1u);
+    EXPECT_EQ(h.binCount(9), 1u);
+    EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEndBins)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.push(-5.0);
+    h.push(100.0);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(9), 1u);
+}
+
+TEST(Histogram, BinLowEdges)
+{
+    Histogram h(0.0, 10.0, 10);
+    EXPECT_DOUBLE_EQ(h.binLow(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.binLow(5), 5.0);
+}
+
+TEST(Histogram, Fractions)
+{
+    Histogram h(0.0, 4.0, 4);
+    h.push(0.5);
+    h.push(1.5);
+    h.push(1.6);
+    h.push(3.5);
+    EXPECT_DOUBLE_EQ(h.binFraction(1), 0.5);
+    EXPECT_DOUBLE_EQ(h.binFraction(0), 0.25);
+}
+
+TEST(StatDump, SetGetRender)
+{
+    StatDump dump;
+    dump.set("b.two", 2.0);
+    dump.set("a.one", 1.0);
+    EXPECT_TRUE(dump.has("a.one"));
+    EXPECT_FALSE(dump.has("missing"));
+    EXPECT_DOUBLE_EQ(dump.get("b.two"), 2.0);
+    // Rendered sorted by name.
+    EXPECT_EQ(dump.render(), "a.one 1\nb.two 2\n");
+}
+
+} // namespace
+} // namespace mcd

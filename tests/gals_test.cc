@@ -1,0 +1,235 @@
+/**
+ * @file
+ * End-to-end GALS property tests: how the synchronization window,
+ * jitter, and cross-domain frequency differences shape the simulated
+ * machine, swept with parameterized suites.
+ */
+
+#include <gtest/gtest.h>
+
+#include "control/basic_controllers.hh"
+#include "core/simulator.hh"
+#include "workload/benchmark_factory.hh"
+
+namespace mcd
+{
+namespace
+{
+
+SimStats
+runWith(double window_fraction, bool jitter, ClockMode mode,
+        Hertz start = 1.0e9, FrequencyController *controller = nullptr)
+{
+    auto workload = BenchmarkFactory::create("gsm", 100000);
+    SimConfig config;
+    config.dvfs.syncWindowFraction = window_fraction;
+    config.clocks.mode = mode;
+    config.clocks.jittered = jitter;
+    config.clocks.startFreq = start;
+    config.clocks.seed = 99;
+    Simulator sim(config, *workload, controller);
+    sim.run(25000);
+    return sim.stats();
+}
+
+class SyncWindowSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(SyncWindowSweep, McdOverheadGrowsWithWindow)
+{
+    double window = GetParam();
+    SimStats sync = runWith(window, true, ClockMode::Synchronous);
+    SimStats mcd = runWith(window, true, ClockMode::Mcd);
+    double deg = static_cast<double>(mcd.time) /
+                     static_cast<double>(sync.time) -
+                 1.0;
+    if (window == 0.0) {
+        EXPECT_NEAR(deg, 0.0, 0.01);
+    } else {
+        EXPECT_GT(deg, 0.0);
+        EXPECT_LT(deg, 0.30); // even a 90% window must not explode
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, SyncWindowSweep,
+                         ::testing::Values(0.0, 0.15, 0.30, 0.60,
+                                           0.90));
+
+TEST(Gals, OverheadMonotoneInWindow)
+{
+    double prev = -1.0;
+    for (double window : {0.0, 0.30, 0.60}) {
+        SimStats sync = runWith(window, true, ClockMode::Synchronous);
+        SimStats mcd = runWith(window, true, ClockMode::Mcd);
+        double deg = static_cast<double>(mcd.time) /
+                         static_cast<double>(sync.time) -
+                     1.0;
+        EXPECT_GT(deg, prev - 0.005); // allow small jitter noise
+        prev = deg;
+    }
+}
+
+TEST(Gals, ChipEnergyEqualsDomainSum)
+{
+    auto workload = BenchmarkFactory::create("epic", 100000);
+    SimConfig config;
+    Simulator sim(config, *workload);
+    sim.run(20000);
+    SimStats stats = sim.stats();
+    double sum = 0.0;
+    for (int d = 0; d < NUM_CLOCKED_DOMAINS; ++d)
+        sum += stats.domainEnergy[static_cast<std::size_t>(d)];
+    EXPECT_NEAR(stats.chipEnergy, sum, stats.chipEnergy * 1e-9);
+}
+
+class MixedFrequencySweep
+    : public ::testing::TestWithParam<std::tuple<double, double, double>>
+{
+};
+
+TEST_P(MixedFrequencySweep, HeterogeneousDomainsStayCorrect)
+{
+    auto [f_int, f_fp, f_ls] = GetParam();
+    auto workload = BenchmarkFactory::create("epic", 100000);
+    SimConfig config;
+    ConstantController controller(
+        FrequencyVector{f_int * 1e9, f_fp * 1e9, f_ls * 1e9});
+    Simulator sim(config, *workload, &controller);
+    sim.run(15000);
+    SimStats stats = sim.stats();
+    EXPECT_EQ(stats.instructions, 15000u);
+    EXPECT_GT(stats.cpi, 0.25);
+    EXPECT_LT(stats.cpi, 80.0);
+    EXPECT_GT(stats.chipEnergy, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Frequencies, MixedFrequencySweep,
+    ::testing::Values(std::make_tuple(1.0, 1.0, 1.0),
+                      std::make_tuple(0.25, 1.0, 1.0),
+                      std::make_tuple(1.0, 0.25, 1.0),
+                      std::make_tuple(1.0, 1.0, 0.25),
+                      std::make_tuple(0.5, 0.25, 0.75),
+                      std::make_tuple(0.25, 0.25, 0.25)));
+
+TEST(Gals, SlowingUnusedFpDomainIsNearlyFree)
+{
+    // adpcm has no FP work: dropping the FP domain to the floor must
+    // cost (almost) nothing while saving energy.
+    auto run_fp = [](Hertz f_fp) {
+        auto workload = BenchmarkFactory::create("adpcm", 100000);
+        SimConfig config;
+        ConstantController controller(
+            FrequencyVector{1.0e9, f_fp, 1.0e9});
+        Simulator sim(config, *workload, &controller);
+        sim.run(20000);
+        return sim.stats();
+    };
+    SimStats fast = run_fp(1.0e9);
+    SimStats slow = run_fp(250.0e6);
+    double deg = static_cast<double>(slow.time) /
+                     static_cast<double>(fast.time) -
+                 1.0;
+    EXPECT_LT(deg, 0.01);
+    EXPECT_LT(slow.chipEnergy, fast.chipEnergy * 0.98);
+}
+
+TEST(Gals, SlowingTheCriticalDomainHurts)
+{
+    // A fully serial FP-add chain is FP-latency-bound by construction:
+    // halving the FP domain frequency must stretch execution by close
+    // to 2x.
+    std::vector<MicroOp> ops;
+    std::uint64_t pc = 0x1000;
+    for (int i = 0; i < 40; ++i) {
+        MicroOp op;
+        op.pc = pc;
+        pc += 4;
+        op.cls = OpClass::FpAdd;
+        op.srcA = 32 + ((i + 19) % 20);
+        op.dst = 32 + (i % 20);
+        ops.push_back(op);
+    }
+    MicroOp back;
+    back.pc = pc;
+    back.cls = OpClass::Branch;
+    back.srcA = 0;
+    back.taken = true;
+    back.target = 0x1000;
+    ops.push_back(back);
+
+    auto run_fp = [&ops](Hertz f_fp) {
+        TraceWorkload trace("fp-chain", ops);
+        SimConfig config;
+        ConstantController controller(
+            FrequencyVector{1.0e9, f_fp, 1.0e9});
+        Simulator sim(config, trace, &controller);
+        sim.run(8000);
+        return sim.stats();
+    };
+    SimStats fast = run_fp(1.0e9);
+    SimStats slow = run_fp(500.0e6);
+    double deg = static_cast<double>(slow.time) /
+                     static_cast<double>(fast.time) -
+                 1.0;
+    EXPECT_GT(deg, 0.6);
+    EXPECT_LT(deg, 1.4);
+}
+
+TEST(Gals, JitterChangesTimingButNotCorrectness)
+{
+    SimStats with_jitter = runWith(0.30, true, ClockMode::Mcd);
+    SimStats without = runWith(0.30, false, ClockMode::Mcd);
+    EXPECT_EQ(with_jitter.instructions, without.instructions);
+    EXPECT_NE(with_jitter.time, without.time);
+    // Jitter wiggles unlucky phase alignments in and out of the
+    // window; total time stays within a few percent.
+    double ratio = static_cast<double>(with_jitter.time) /
+                   static_cast<double>(without.time);
+    EXPECT_GT(ratio, 0.9);
+    EXPECT_LT(ratio, 1.1);
+}
+
+TEST(Gals, SlewedTargetEventuallyReached)
+{
+    auto workload = BenchmarkFactory::create("gsm", 200000);
+    SimConfig config;
+    Simulator sim(config, *workload);
+    sim.clocks().clock(DomainId::Integer).setTargetFrequency(400.0e6);
+    // 600 MHz of slew at 49.1 ns/MHz = ~29.5 us of simulated time;
+    // run enough instructions to cover it.
+    sim.run(60000);
+    EXPECT_FALSE(sim.clocks().clock(DomainId::Integer).slewing());
+    EXPECT_NEAR(sim.clocks().clock(DomainId::Integer).frequency(),
+                sim.clocks().dvfs().quantize(400.0e6), 1.0);
+}
+
+TEST(Gals, EnergyScalesRoughlyWithVSquaredFTimesTime)
+{
+    // A domain at half frequency burns base energy at V(f/2)^2 * f/2;
+    // check the FP domain's measured energy for an FP-idle app.
+    auto run_fp = [](Hertz f_fp) {
+        auto workload = BenchmarkFactory::create("adpcm", 100000);
+        SimConfig config;
+        config.clocks.jittered = false;
+        ConstantController controller(
+            FrequencyVector{1.0e9, f_fp, 1.0e9});
+        Simulator sim(config, *workload, &controller);
+        sim.run(20000);
+        return sim.stats();
+    };
+    SimStats fast = run_fp(1.0e9);
+    SimStats slow = run_fp(500.0e6);
+    double fp_fast = fast.domainEnergy[
+        static_cast<std::size_t>(domainIndex(DomainId::FloatingPoint))];
+    double fp_slow = slow.domainEnergy[
+        static_cast<std::size_t>(domainIndex(DomainId::FloatingPoint))];
+    DvfsModel dvfs;
+    double v_ratio = dvfs.voltage(500.0e6) / dvfs.voltage(1.0e9);
+    double expected = v_ratio * v_ratio * 0.5; // V^2 * f, same runtime
+    EXPECT_NEAR(fp_slow / fp_fast, expected, 0.12);
+}
+
+} // namespace
+} // namespace mcd

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Fidelity check of the Attack/Decay implementation against a direct
+ * transliteration of the paper's Listing 1. The reference below keeps
+ * the listing's variable names and structure (PeriodScaleFactor,
+ * UpperEndstopCounter, etc.), with the one documented interpretation:
+ * the PerfDegThreshold guard uses the prose semantics
+ * (PrevIPC/IPC <= 1 + threshold permits a decrease; see DESIGN.md
+ * substitution 6). The production controller must match the reference
+ * step for step over arbitrary utilization/IPC streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.hh"
+#include "control/attack_decay.hh"
+
+namespace mcd
+{
+namespace
+{
+
+constexpr double MINIMUM_FREQUENCY = 250.0e6;
+constexpr double MAXIMUM_FREQUENCY = 1.0e9;
+
+/** Verbatim-as-possible transliteration of Listing 1. */
+class Listing1Reference
+{
+  public:
+    explicit Listing1Reference(const AttackDecayConfig &config)
+        : config_(config)
+    {
+    }
+
+    void
+    step(double QueueUtilization, double IPC)
+    {
+        /* Assume no frequency change required */
+        double PeriodScaleFactor = 1.0;
+
+        if (UpperEndstopCounter == config_.endstopCount) {
+            /* Force frequency decrease */
+            PeriodScaleFactor = 1.0 + config_.reactionChange;
+        } else if (LowerEndstopCounter == config_.endstopCount) {
+            /* Force frequency increase */
+            PeriodScaleFactor = 1.0 - config_.reactionChange;
+        } else {
+            /* Check utilization difference against threshold */
+            if ((QueueUtilization - PrevQueueUtilization) >
+                (PrevQueueUtilization * config_.deviationThreshold)) {
+                /* Significant increase since last time */
+                PeriodScaleFactor = 1.0 - config_.reactionChange;
+            } else if (((PrevQueueUtilization - QueueUtilization) >
+                        (PrevQueueUtilization *
+                         config_.deviationThreshold)) &&
+                       guardPermits(IPC)) {
+                /* Significant decrease since last time */
+                PeriodScaleFactor = 1.0 + config_.reactionChange;
+            } else {
+                /* The domain is not used or
+                   no significant change detected... */
+                if (guardPermits(IPC))
+                    PeriodScaleFactor = 1.0 + config_.decay;
+            }
+        }
+
+        /* Apply frequency scale factor (the PLL register is written
+           only when a change was requested; an unchanged frequency
+           stays bit-exact) */
+        if (PeriodScaleFactor != 1.0) {
+            DomainFrequency =
+                1.0 / ((1.0 / DomainFrequency) * PeriodScaleFactor);
+            /* Range checking (the paper performs it after the
+               listing) */
+            DomainFrequency = std::clamp(DomainFrequency,
+                                         MINIMUM_FREQUENCY,
+                                         MAXIMUM_FREQUENCY);
+        }
+
+        /* Setup for next interval */
+        PrevIPC = IPC;
+        PrevQueueUtilization = QueueUtilization;
+        if ((DomainFrequency <= MINIMUM_FREQUENCY) &&
+            (LowerEndstopCounter != config_.endstopCount))
+            ++LowerEndstopCounter;
+        else
+            LowerEndstopCounter = 0;
+        if ((DomainFrequency >= MAXIMUM_FREQUENCY) &&
+            (UpperEndstopCounter != config_.endstopCount))
+            ++UpperEndstopCounter;
+        else
+            UpperEndstopCounter = 0;
+    }
+
+    double DomainFrequency = MAXIMUM_FREQUENCY;
+    double PrevQueueUtilization = 0.0;
+    double PrevIPC = 0.0;
+    int UpperEndstopCounter = 0;
+    int LowerEndstopCounter = 0;
+
+  private:
+    AttackDecayConfig config_;
+
+    bool
+    guardPermits(double IPC) const
+    {
+        // Prose semantics of lines 19/25 (DESIGN.md substitution 6).
+        if (IPC <= 0.0)
+            return false;
+        double ratio = PrevIPC > 0.0 ? PrevIPC / IPC : 1.0;
+        return ratio <= 1.0 + config_.perfDegThreshold;
+    }
+};
+
+class Listing1Fidelity : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(Listing1Fidelity, ControllerMatchesListingOverRandomStreams)
+{
+    AttackDecayConfig config; // paper Section 5 values
+    Listing1Reference reference(config);
+    AttackDecayDomainState state;
+    state.freq = MAXIMUM_FREQUENCY;
+
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    double utilization = 5.0;
+    double ipc = 1.0;
+    for (int i = 0; i < 2000; ++i) {
+        // Random-walk the inputs through regimes that exercise attack,
+        // decay, the guard, and both end-stops.
+        switch (rng.range(6)) {
+          case 0:
+            utilization *= rng.uniform(1.5, 4.0); // burst
+            break;
+          case 1:
+            utilization *= rng.uniform(0.2, 0.7); // collapse
+            break;
+          case 2:
+            utilization = 0.0; // idle domain
+            break;
+          default:
+            utilization *= rng.uniform(0.99, 1.01); // quiet
+            break;
+        }
+        utilization = std::min(utilization, 1e6);
+        ipc = std::clamp(ipc * rng.uniform(0.9, 1.1), 0.05, 4.0);
+
+        reference.step(utilization, ipc);
+        attackDecayStep(state, utilization, ipc, config,
+                        MINIMUM_FREQUENCY, MAXIMUM_FREQUENCY);
+
+        ASSERT_NEAR(state.freq, reference.DomainFrequency,
+                    reference.DomainFrequency * 1e-12)
+            << "diverged at step " << i;
+        ASSERT_EQ(state.upperEndstop, reference.UpperEndstopCounter)
+            << "upper endstop diverged at step " << i;
+        ASSERT_EQ(state.lowerEndstop, reference.LowerEndstopCounter)
+            << "lower endstop diverged at step " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Listing1Fidelity,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Listing1Fidelity, KnownScenarioFrequencyTrace)
+{
+    // Hand-checked scenario: burst -> quiet decay -> idle -> endstop.
+    AttackDecayConfig config;
+    Listing1Reference reference(config);
+
+    // Interval 1: utilization appears (0 -> 10): attack up (already at
+    // max: clamp).
+    reference.step(10.0, 1.0);
+    EXPECT_DOUBLE_EQ(reference.DomainFrequency, MAXIMUM_FREQUENCY);
+
+    // Interval 2: utilization collapses (10 -> 1): attack down.
+    reference.step(1.0, 1.0);
+    EXPECT_NEAR(reference.DomainFrequency,
+                MAXIMUM_FREQUENCY / 1.06, 1.0);
+
+    // Interval 3: flat: decay.
+    double before = reference.DomainFrequency;
+    reference.step(1.0, 1.0);
+    EXPECT_NEAR(reference.DomainFrequency, before / 1.00175, 1.0);
+}
+
+} // namespace
+} // namespace mcd

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Unit tests for the Table 4 branch prediction hierarchy: bimodal,
+ * two-level adaptive, combining chooser, BTB, and return address stack.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictor/branch_predictor.hh"
+
+namespace mcd
+{
+namespace
+{
+
+TEST(SatCnt, SaturatesBothEnds)
+{
+    std::uint8_t c = 0;
+    c = satcnt::update(c, false);
+    EXPECT_EQ(c, 0);
+    c = 3;
+    c = satcnt::update(c, true);
+    EXPECT_EQ(c, 3);
+    EXPECT_TRUE(satcnt::taken(2));
+    EXPECT_FALSE(satcnt::taken(1));
+}
+
+TEST(Bimodal, LearnsBias)
+{
+    BimodalPredictor bimodal;
+    for (int i = 0; i < 8; ++i)
+        bimodal.update(0x1000, true);
+    EXPECT_TRUE(bimodal.predict(0x1000));
+    for (int i = 0; i < 8; ++i)
+        bimodal.update(0x1000, false);
+    EXPECT_FALSE(bimodal.predict(0x1000));
+}
+
+TEST(Bimodal, HysteresisSurvivesSingleFlip)
+{
+    BimodalPredictor bimodal;
+    for (int i = 0; i < 8; ++i)
+        bimodal.update(0x1000, true);
+    bimodal.update(0x1000, false); // one anomaly
+    EXPECT_TRUE(bimodal.predict(0x1000));
+}
+
+TEST(Bimodal, DistinctPcsIndependent)
+{
+    // PCs chosen to land in different rows of the 1024-entry table
+    // (index = (pc >> 2) & 1023, so 0x1000 and 0x2000 would alias).
+    BimodalPredictor bimodal(1024);
+    for (int i = 0; i < 8; ++i) {
+        bimodal.update(0x1000, true);
+        bimodal.update(0x1204, false);
+    }
+    EXPECT_TRUE(bimodal.predict(0x1000));
+    EXPECT_FALSE(bimodal.predict(0x1204));
+}
+
+TEST(TwoLevel, LearnsAlternatingPattern)
+{
+    TwoLevelPredictor two_level;
+    // Train on a strict T/N alternation; after warm-up, predictions
+    // should be nearly perfect because 10 bits of history disambiguate.
+    bool taken = false;
+    int correct = 0;
+    for (int i = 0; i < 400; ++i) {
+        bool prediction = two_level.predict(0x1000);
+        if (i >= 100)
+            correct += prediction == taken;
+        two_level.update(0x1000, taken);
+        taken = !taken;
+    }
+    EXPECT_GT(correct, 290); // > 96% after warm-up
+}
+
+TEST(TwoLevel, LearnsPeriodFourPattern)
+{
+    TwoLevelPredictor two_level;
+    int correct = 0;
+    for (int i = 0; i < 800; ++i) {
+        bool taken = (i % 4) != 3; // TTTN repeating
+        bool prediction = two_level.predict(0x3000);
+        if (i >= 200)
+            correct += prediction == taken;
+        two_level.update(0x3000, taken);
+    }
+    EXPECT_GT(correct, 560); // > 93% after warm-up
+}
+
+TEST(Combining, TracksBestComponent)
+{
+    // Pattern predictable by the two-level but not the bimodal: the
+    // combining predictor must approach two-level accuracy.
+    CombiningPredictor combining;
+    int correct = 0;
+    for (int i = 0; i < 1200; ++i) {
+        bool taken = (i % 2) == 0;
+        bool prediction = combining.predict(0x1000);
+        if (i >= 400)
+            correct += prediction == taken;
+        combining.update(0x1000, taken);
+    }
+    EXPECT_GT(correct, 720); // > 90% after chooser warm-up
+}
+
+TEST(Combining, BiasedBranchesStayAccurate)
+{
+    CombiningPredictor combining;
+    int correct = 0;
+    for (int i = 0; i < 500; ++i) {
+        bool prediction = combining.predict(0x2000);
+        if (i >= 50)
+            correct += prediction;
+        combining.update(0x2000, true);
+    }
+    EXPECT_GT(correct, 440);
+}
+
+TEST(Btb, StoresAndRetrievesTargets)
+{
+    Btb btb;
+    EXPECT_FALSE(btb.lookup(0x1000).has_value());
+    btb.update(0x1000, 0x5000);
+    auto target = btb.lookup(0x1000);
+    ASSERT_TRUE(target.has_value());
+    EXPECT_EQ(*target, 0x5000u);
+}
+
+TEST(Btb, UpdatesExistingEntry)
+{
+    Btb btb;
+    btb.update(0x1000, 0x5000);
+    btb.update(0x1000, 0x6000);
+    EXPECT_EQ(*btb.lookup(0x1000), 0x6000u);
+}
+
+TEST(Btb, SetConflictEvictsLru)
+{
+    Btb btb(16, 2); // tiny BTB: 16 sets, 2 ways
+    // Three PCs mapping to the same set (stride = sets * 4).
+    std::uint64_t stride = 16 * 4;
+    btb.update(0x0, 0x100);
+    btb.update(stride, 0x200);
+    btb.update(0x0, 0x100); // refresh LRU of the first
+    btb.update(2 * stride, 0x300);
+    EXPECT_TRUE(btb.lookup(0x0).has_value());
+    EXPECT_FALSE(btb.lookup(stride).has_value());
+    EXPECT_TRUE(btb.lookup(2 * stride).has_value());
+}
+
+TEST(Ras, LifoOrder)
+{
+    Ras ras(8);
+    ras.push(0x100);
+    ras.push(0x200);
+    EXPECT_EQ(*ras.pop(), 0x200u);
+    EXPECT_EQ(*ras.pop(), 0x100u);
+}
+
+TEST(Ras, UnderflowReturnsNothing)
+{
+    Ras ras(8);
+    EXPECT_FALSE(ras.pop().has_value());
+    ras.push(0x100);
+    ras.pop();
+    EXPECT_FALSE(ras.pop().has_value());
+}
+
+TEST(Ras, WrapsWhenFull)
+{
+    Ras ras(2);
+    ras.push(0x100);
+    ras.push(0x200);
+    ras.push(0x300); // overwrites the oldest
+    EXPECT_EQ(*ras.pop(), 0x300u);
+    EXPECT_EQ(*ras.pop(), 0x200u);
+    EXPECT_FALSE(ras.pop().has_value());
+}
+
+TEST(BranchPredictor, CallReturnRoundTrip)
+{
+    BranchPredictor bpred;
+    // A call at 0x1000 to 0x9000: pushes 0x1004 onto the RAS.
+    bpred.predict(0x1000, true, false, 0x1004);
+    // The matching return is predicted to 0x1004 via the RAS.
+    BranchPrediction prediction =
+        bpred.predict(0x9014, false, true, 0x9018);
+    EXPECT_TRUE(prediction.predictTaken);
+    EXPECT_TRUE(prediction.fromRas);
+    EXPECT_EQ(prediction.target, 0x1004u);
+}
+
+TEST(BranchPredictor, NestedCallsUnwindInOrder)
+{
+    BranchPredictor bpred;
+    bpred.predict(0x1000, true, false, 0x1004);
+    bpred.predict(0x2000, true, false, 0x2004);
+    EXPECT_EQ(bpred.predict(0x9000, false, true, 0x9004).target,
+              0x2004u);
+    EXPECT_EQ(bpred.predict(0x9100, false, true, 0x9104).target,
+              0x1004u);
+}
+
+TEST(BranchPredictor, TakenWithoutBtbTargetFallsBackToNotTaken)
+{
+    BranchPredictor bpred;
+    // Train the direction as taken without ever installing a target.
+    for (int i = 0; i < 8; ++i)
+        bpred.update(0x4000, true, 0x8000, false, false);
+    // BTB now has the target; flush it with a fresh predictor instead:
+    BranchPredictor fresh;
+    BranchPrediction prediction =
+        fresh.predict(0x4000, false, false, 0x4004);
+    // Direction defaults weakly-taken but the BTB is cold, so the
+    // effective prediction cannot redirect.
+    EXPECT_FALSE(prediction.predictTaken);
+    EXPECT_FALSE(prediction.btbHit);
+}
+
+TEST(BranchPredictor, TrainedBranchPredictsTakenWithTarget)
+{
+    BranchPredictor bpred;
+    for (int i = 0; i < 8; ++i)
+        bpred.update(0x4000, true, 0x8000, false, false);
+    BranchPrediction prediction =
+        bpred.predict(0x4000, false, false, 0x4004);
+    EXPECT_TRUE(prediction.predictTaken);
+    EXPECT_TRUE(prediction.btbHit);
+    EXPECT_EQ(prediction.target, 0x8000u);
+}
+
+TEST(BranchPredictor, NotTakenBranchesDontPolluteBtb)
+{
+    BranchPredictor bpred;
+    for (int i = 0; i < 8; ++i)
+        bpred.update(0x4000, false, 0, false, false);
+    BranchPrediction prediction =
+        bpred.predict(0x4000, false, false, 0x4004);
+    EXPECT_FALSE(prediction.predictTaken);
+    EXPECT_FALSE(prediction.btbHit);
+}
+
+TEST(BranchPredictor, LoopBranchAccuracy)
+{
+    // A loop branch taken 19 of 20 times: accuracy after warm-up must
+    // exceed 90% (one mispredict per exit at most).
+    BranchPredictor bpred;
+    int correct = 0, total = 0;
+    for (int visit = 0; visit < 50; ++visit) {
+        for (int i = 0; i < 20; ++i) {
+            bool taken = i != 19;
+            BranchPrediction prediction =
+                bpred.predict(0x7000, false, false, 0x7004);
+            bool predicted_taken = prediction.predictTaken;
+            if (visit >= 5) {
+                ++total;
+                correct += predicted_taken == taken;
+            }
+            bpred.update(0x7000, taken, 0x6000, false, false);
+        }
+    }
+    EXPECT_GT(static_cast<double>(correct) / total, 0.90);
+}
+
+} // namespace
+} // namespace mcd

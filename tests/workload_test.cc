@@ -1,0 +1,383 @@
+/**
+ * @file
+ * Tests for the synthetic workload substrate: determinism, control-flow
+ * consistency (the stream is a plausible correct path), instruction-mix
+ * fidelity to the spec, memory-footprint bounds, pointer-chase
+ * dependences, phase structure, and the 30-benchmark factory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/benchmark_factory.hh"
+#include "workload/workload.hh"
+
+namespace mcd
+{
+namespace
+{
+
+BenchmarkSpec
+simpleSpec()
+{
+    BenchmarkSpec spec;
+    spec.name = "unit";
+    spec.suite = "test";
+    spec.seed = 42;
+    spec.phases.push_back(PhaseSpec{});
+    return spec;
+}
+
+TEST(MicroOp, ClassPredicates)
+{
+    EXPECT_TRUE(isFpClass(OpClass::FpAdd));
+    EXPECT_TRUE(isFpClass(OpClass::FpSqrt));
+    EXPECT_FALSE(isFpClass(OpClass::FpLoad)); // memory class
+    EXPECT_TRUE(isMemClass(OpClass::FpLoad));
+    EXPECT_TRUE(isMemClass(OpClass::Store));
+    EXPECT_TRUE(isControlClass(OpClass::Return));
+    EXPECT_FALSE(isControlClass(OpClass::IntAlu));
+    EXPECT_TRUE(isLoadClass(OpClass::FpLoad));
+    EXPECT_FALSE(isLoadClass(OpClass::FpStore));
+    EXPECT_TRUE(isStoreClass(OpClass::FpStore));
+}
+
+TEST(MicroOp, NextPcFollowsControlFlow)
+{
+    MicroOp op;
+    op.pc = 0x100;
+    op.cls = OpClass::Branch;
+    op.taken = true;
+    op.target = 0x500;
+    EXPECT_EQ(op.nextPc(), 0x500u);
+    op.taken = false;
+    EXPECT_EQ(op.nextPc(), 0x104u);
+    op.cls = OpClass::IntAlu;
+    op.taken = true;
+    EXPECT_EQ(op.nextPc(), 0x104u);
+}
+
+TEST(SyntheticProgram, DeterministicForSameSeedAndHorizon)
+{
+    SyntheticProgram a(simpleSpec(), 100000);
+    SyntheticProgram b(simpleSpec(), 100000);
+    for (int i = 0; i < 20000; ++i) {
+        MicroOp x = a.next();
+        MicroOp y = b.next();
+        EXPECT_EQ(x.pc, y.pc);
+        EXPECT_EQ(static_cast<int>(x.cls), static_cast<int>(y.cls));
+        EXPECT_EQ(x.memAddr, y.memAddr);
+        EXPECT_EQ(x.taken, y.taken);
+        EXPECT_EQ(x.srcA, y.srcA);
+        EXPECT_EQ(x.dst, y.dst);
+    }
+}
+
+TEST(SyntheticProgram, DifferentSeedsProduceDifferentStreams)
+{
+    BenchmarkSpec spec_a = simpleSpec();
+    BenchmarkSpec spec_b = simpleSpec();
+    spec_b.seed = 43;
+    SyntheticProgram a(spec_a, 100000);
+    SyntheticProgram b(spec_b, 100000);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += a.next().memAddr == b.next().memAddr;
+    EXPECT_LT(same, 900);
+}
+
+TEST(SyntheticProgram, PcContinuityAlongCorrectPath)
+{
+    SyntheticProgram program(simpleSpec(), 100000);
+    MicroOp prev = program.next();
+    for (int i = 0; i < 50000; ++i) {
+        MicroOp op = program.next();
+        EXPECT_EQ(op.pc, prev.nextPc())
+            << "discontinuity after pc=0x" << std::hex << prev.pc
+            << " class=" << std::dec << static_cast<int>(prev.cls);
+        prev = op;
+    }
+}
+
+TEST(SyntheticProgram, MixApproximatesSpec)
+{
+    BenchmarkSpec spec = simpleSpec();
+    PhaseSpec &phase = spec.phases[0];
+    phase.loadFrac = 0.25;
+    phase.storeFrac = 0.10;
+    phase.branchFrac = 0.15;
+    phase.fpFrac = 0.20;
+    SyntheticProgram program(spec, 200000);
+
+    std::map<int, int> counts;
+    const int n = 150000;
+    for (int i = 0; i < n; ++i)
+        ++counts[static_cast<int>(program.next().cls)];
+
+    auto frac = [&counts, n](std::initializer_list<OpClass> classes) {
+        int total = 0;
+        for (OpClass cls : classes)
+            total += counts[static_cast<int>(cls)];
+        return static_cast<double>(total) / n;
+    };
+
+    EXPECT_NEAR(frac({OpClass::Load, OpClass::FpLoad}), 0.25, 0.06);
+    EXPECT_NEAR(frac({OpClass::Store, OpClass::FpStore}), 0.10, 0.04);
+    EXPECT_NEAR(frac({OpClass::Branch, OpClass::Call, OpClass::Return}),
+                0.15, 0.06);
+    EXPECT_NEAR(frac({OpClass::FpAdd, OpClass::FpMult, OpClass::FpDiv,
+                      OpClass::FpSqrt}),
+                0.20, 0.06);
+}
+
+TEST(SyntheticProgram, ZeroFpSpecEmitsNoFpArithmetic)
+{
+    BenchmarkSpec spec = simpleSpec();
+    spec.phases[0].fpFrac = 0.0;
+    SyntheticProgram program(spec, 100000);
+    for (int i = 0; i < 50000; ++i) {
+        MicroOp op = program.next();
+        EXPECT_FALSE(isFpClass(op.cls));
+        EXPECT_NE(static_cast<int>(op.cls),
+                  static_cast<int>(OpClass::FpLoad));
+    }
+}
+
+TEST(SyntheticProgram, MemoryAddressesStayInFootprint)
+{
+    BenchmarkSpec spec = simpleSpec();
+    spec.phases[0].dataFootprint = 64 * 1024;
+    SyntheticProgram program(spec, 100000);
+    std::uint64_t lo = ~0ull, hi = 0;
+    for (int i = 0; i < 60000; ++i) {
+        MicroOp op = program.next();
+        if (isMemClass(op.cls)) {
+            lo = std::min(lo, op.memAddr);
+            hi = std::max(hi, op.memAddr);
+        }
+    }
+    EXPECT_LE(hi - lo, 2u * 64 * 1024); // footprint + alignment slack
+}
+
+TEST(SyntheticProgram, LargerFootprintTouchesMoreLines)
+{
+    auto count_lines = [](std::uint64_t footprint) {
+        BenchmarkSpec spec;
+        spec.name = "unit";
+        spec.seed = 42;
+        PhaseSpec phase;
+        phase.dataFootprint = footprint;
+        spec.phases.push_back(phase);
+        SyntheticProgram program(spec, 200000);
+        std::set<std::uint64_t> lines;
+        for (int i = 0; i < 100000; ++i) {
+            MicroOp op = program.next();
+            if (isMemClass(op.cls))
+                lines.insert(op.memAddr / 64);
+        }
+        return lines.size();
+    };
+    EXPECT_GT(count_lines(4 * 1024 * 1024), 3 * count_lines(16 * 1024));
+}
+
+TEST(SyntheticProgram, ChaseLoadsFormSerialDependences)
+{
+    BenchmarkSpec spec = simpleSpec();
+    spec.phases[0].chaseFrac = 1.0; // all streams chase
+    spec.phases[0].loadFrac = 0.4;
+    SyntheticProgram program(spec, 100000);
+
+    int serial = 0, chase_loads = 0;
+    int prev_chase_dst = -1;
+    for (int i = 0; i < 50000; ++i) {
+        MicroOp op = program.next();
+        if (op.cls == OpClass::Load) {
+            ++chase_loads;
+            if (prev_chase_dst >= 0 && op.srcA == prev_chase_dst)
+                ++serial;
+            prev_chase_dst = op.dst;
+        }
+    }
+    ASSERT_GT(chase_loads, 1000);
+    // The overwhelming majority of chase loads depend on the previous
+    // chase load's destination.
+    EXPECT_GT(static_cast<double>(serial) / chase_loads, 0.9);
+}
+
+TEST(SyntheticProgram, PhasesChangeBehavior)
+{
+    BenchmarkSpec spec = simpleSpec();
+    spec.phases[0].fpFrac = 0.0;
+    PhaseSpec fp_phase;
+    fp_phase.fpFrac = 0.4;
+    spec.phases.push_back(fp_phase);
+    const std::uint64_t horizon = 100000;
+    SyntheticProgram program(spec, horizon);
+
+    int fp_in_first_half = 0, fp_in_second_half = 0;
+    for (std::uint64_t i = 0; i < horizon; ++i) {
+        MicroOp op = program.next();
+        bool is_fp = isFpClass(op.cls) || op.cls == OpClass::FpLoad;
+        if (i < horizon / 2 - 1000)
+            fp_in_first_half += is_fp;
+        else if (i > horizon / 2 + 1000)
+            fp_in_second_half += is_fp;
+    }
+    EXPECT_EQ(fp_in_first_half, 0);
+    EXPECT_GT(fp_in_second_half, 5000);
+}
+
+TEST(SyntheticProgram, StreamWrapsPastHorizon)
+{
+    SyntheticProgram program(simpleSpec(), 10000);
+    for (int i = 0; i < 50000; ++i)
+        program.next(); // must not crash or run out
+    SUCCEED();
+}
+
+TEST(SyntheticProgram, CallsAndReturnsNest)
+{
+    BenchmarkSpec spec = simpleSpec();
+    spec.phases[0].callFrac = 0.05;
+    SyntheticProgram program(spec, 100000);
+    int calls = 0, returns = 0;
+    std::vector<std::uint64_t> stack;
+    for (int i = 0; i < 50000; ++i) {
+        MicroOp op = program.next();
+        if (op.cls == OpClass::Call) {
+            ++calls;
+            stack.push_back(op.fallthrough());
+        } else if (op.cls == OpClass::Return) {
+            ++returns;
+            ASSERT_FALSE(stack.empty());
+            EXPECT_EQ(op.target, stack.back());
+            stack.pop_back();
+        }
+    }
+    EXPECT_GT(calls, 100);
+    EXPECT_LE(stack.size(), 1u); // at most one call in flight at the end
+}
+
+TEST(SyntheticProgram, ZeroRegisterNeverWritten)
+{
+    SyntheticProgram program(simpleSpec(), 100000);
+    for (int i = 0; i < 50000; ++i)
+        EXPECT_NE(program.next().dst, 0);
+}
+
+TEST(TraceWorkload, WrapsAround)
+{
+    MicroOp op;
+    op.cls = OpClass::IntAlu;
+    op.pc = 0x10;
+    TraceWorkload trace("t", {op, op, op});
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(trace.next().pc, 0x10u);
+    EXPECT_EQ(trace.name(), "t");
+}
+
+TEST(Factory, ThirtyBenchmarks)
+{
+    EXPECT_EQ(BenchmarkFactory::allNames().size(), 30u);
+}
+
+TEST(Factory, SuitesPartitionTheBenchmarks)
+{
+    auto media = BenchmarkFactory::suiteNames("MediaBench");
+    auto olden = BenchmarkFactory::suiteNames("Olden");
+    auto spec = BenchmarkFactory::suiteNames("Spec2000");
+    EXPECT_EQ(media.size(), 9u);
+    EXPECT_EQ(olden.size(), 10u);
+    EXPECT_EQ(spec.size(), 11u);
+}
+
+TEST(Factory, EveryBenchmarkInstantiates)
+{
+    for (const auto &name : BenchmarkFactory::allNames()) {
+        auto workload = BenchmarkFactory::create(name, 50000);
+        ASSERT_NE(workload, nullptr);
+        for (int i = 0; i < 2000; ++i)
+            workload->next();
+        EXPECT_EQ(workload->name(), name);
+    }
+}
+
+TEST(Factory, SpecsHaveSanePhaseWeights)
+{
+    for (const auto &name : BenchmarkFactory::allNames()) {
+        BenchmarkSpec spec = BenchmarkFactory::spec(name);
+        EXPECT_FALSE(spec.phases.empty());
+        for (const auto &phase : spec.phases) {
+            EXPECT_GT(phase.weight, 0.0);
+            EXPECT_LE(phase.loadFrac + phase.storeFrac +
+                          phase.branchFrac + phase.fpFrac,
+                      1.0);
+            EXPECT_GT(phase.dataFootprint, 0u);
+        }
+    }
+}
+
+TEST(Factory, EpicHasFpPhaseStructure)
+{
+    // epic decode is the Figure 2/3 application: FP must be absent in
+    // at least one phase and strongly present in at least one other.
+    BenchmarkSpec spec = BenchmarkFactory::spec("epic");
+    bool has_idle_fp = false, has_busy_fp = false;
+    for (const auto &phase : spec.phases) {
+        has_idle_fp = has_idle_fp || phase.fpFrac == 0.0;
+        has_busy_fp = has_busy_fp || phase.fpFrac > 0.25;
+    }
+    EXPECT_TRUE(has_idle_fp);
+    EXPECT_TRUE(has_busy_fp);
+}
+
+TEST(Factory, McfIsMemoryBoundPointerChaser)
+{
+    BenchmarkSpec spec = BenchmarkFactory::spec("mcf");
+    EXPECT_GT(spec.phases[0].chaseFrac, 0.5);
+    EXPECT_GT(spec.phases[0].dataFootprint, 8u * 1024 * 1024);
+}
+
+class FactoryStreamProperty
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(FactoryStreamProperty, CorrectPathContinuity)
+{
+    auto workload = BenchmarkFactory::create(GetParam(), 100000);
+    MicroOp prev = workload->next();
+    for (int i = 0; i < 30000; ++i) {
+        MicroOp op = workload->next();
+        ASSERT_EQ(op.pc, prev.nextPc());
+        prev = op;
+    }
+}
+
+TEST_P(FactoryStreamProperty, RegistersInRange)
+{
+    auto workload = BenchmarkFactory::create(GetParam(), 100000);
+    for (int i = 0; i < 30000; ++i) {
+        MicroOp op = workload->next();
+        EXPECT_GE(op.srcA, -1);
+        EXPECT_LT(op.srcA, NUM_ARCH_REGS);
+        EXPECT_GE(op.srcB, -1);
+        EXPECT_LT(op.srcB, NUM_ARCH_REGS);
+        EXPECT_GE(op.dst, -1);
+        EXPECT_LT(op.dst, NUM_ARCH_REGS);
+        if (op.dst >= 0 && isLoadClass(op.cls)) {
+            bool fp_dst = op.dst >= NUM_INT_ARCH_REGS;
+            EXPECT_EQ(fp_dst, op.cls == OpClass::FpLoad);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Benchmarks, FactoryStreamProperty,
+    ::testing::Values("adpcm", "epic", "gcc", "mcf", "swim", "bh",
+                      "treeadd", "vortex", "art", "ghostscript"));
+
+} // namespace
+} // namespace mcd
