@@ -37,11 +37,14 @@ main()
         adc.endstopCount = count;
         std::fprintf(stderr, "  endstop = %d\n", count);
 
+        auto stats = runPerBenchmark(
+            runner, names, [&adc](Runner &r, const std::string &name) {
+                return r.runAttackDecay(name, adc);
+            });
         std::vector<ComparisonMetrics> vs_mcd;
-        for (const auto &name : names) {
-            SimStats stats = runner.runAttackDecay(name, adc);
-            vs_mcd.push_back(compare(baselines.mcd.at(name), stats));
-        }
+        for (std::size_t i = 0; i < names.size(); ++i)
+            vs_mcd.push_back(compare(baselines.mcd.at(names[i]),
+                                     stats[i]));
         table.addRow({count == 0 ? "infinite" : std::to_string(count),
                       pct(meanOf(vs_mcd,
                                  &ComparisonMetrics::perfDegradation)),

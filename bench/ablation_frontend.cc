@@ -73,13 +73,18 @@ main()
                      "deg / cut (1.0 = perfectly linear)"});
     for (Hertz fe : {0.9e9, 0.8e9, 0.7e9, 0.6e9}) {
         std::fprintf(stderr, "  front end at %.1f GHz\n", fe / 1e9);
+        auto stats = runPerBenchmark(
+            runner, names,
+            [fe, &config](Runner &r, const std::string &name) {
+                PinnedFrontEndController controller(fe);
+                return r.runWithController(name, ClockMode::Mcd,
+                                           config.dvfs.freqMax,
+                                           controller);
+            });
         std::vector<ComparisonMetrics> vs_mcd;
-        for (const auto &name : names) {
-            PinnedFrontEndController controller(fe);
-            SimStats stats = runner.runWithController(
-                name, ClockMode::Mcd, config.dvfs.freqMax, controller);
-            vs_mcd.push_back(compare(baselines.mcd.at(name), stats));
-        }
+        for (std::size_t i = 0; i < names.size(); ++i)
+            vs_mcd.push_back(compare(baselines.mcd.at(names[i]),
+                                     stats[i]));
         double cut = 1.0e9 / fe - 1.0;
         double deg =
             meanOf(vs_mcd, &ComparisonMetrics::perfDegradation);
@@ -98,18 +103,26 @@ main()
     part2.setHeader({"controller", "perf degradation", "energy savings",
                      "EDP improvement"});
     {
+        std::fprintf(stderr, "  A/D variants on %zu benchmarks\n",
+                     names.size());
+        auto ad_stats = runPerBenchmark(
+            runner, names, [](Runner &r, const std::string &name) {
+                return r.runAttackDecay(name, scaledAttackDecay());
+            });
+        auto fe_stats = runPerBenchmark(
+            runner, names,
+            [&config](Runner &r, const std::string &name) {
+                FrontEndAttackDecayController controller(
+                    scaledAttackDecay());
+                return r.runWithController(name, ClockMode::Mcd,
+                                           config.dvfs.freqMax,
+                                           controller);
+            });
         std::vector<ComparisonMetrics> plain, extended;
-        for (const auto &name : names) {
-            std::fprintf(stderr, "  A/D variants on %s\n", name.c_str());
-            SimStats base = baselines.mcd.at(name);
-            SimStats ad = runner.runAttackDecay(name,
-                                                scaledAttackDecay());
-            plain.push_back(compare(base, ad));
-            FrontEndAttackDecayController controller(
-                scaledAttackDecay());
-            SimStats fe = runner.runWithController(
-                name, ClockMode::Mcd, config.dvfs.freqMax, controller);
-            extended.push_back(compare(base, fe));
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            const SimStats &base = baselines.mcd.at(names[i]);
+            plain.push_back(compare(base, ad_stats[i]));
+            extended.push_back(compare(base, fe_stats[i]));
         }
         auto row = [&part2](const char *name,
                             const std::vector<ComparisonMetrics> &all) {

@@ -17,6 +17,7 @@
 
 #include "sweep_util.hh"
 #include "harness/metrics.hh"
+#include "harness/parallel_sweep.hh"
 
 using namespace mcd;
 using namespace mcd::bench;
@@ -38,23 +39,36 @@ main()
     table.setHeader({"benchmark", "freq-matched f", "deg", "savings",
                      "time-matched f", "deg", "savings"});
 
-    std::vector<ComparisonMetrics> fm_all, tm_all;
-    for (const auto &name : names) {
-        std::fprintf(stderr, "  running %-12s\n", name.c_str());
-        SimStats sync = runner.runSynchronous(name,
-                                              config.dvfs.freqMax);
-        GlobalResult fm = runner.runGlobalAtDegradation(name,
-                                                        target_deg);
+    struct Row
+    {
+        SimStats sync;
+        GlobalResult fm;
+        GlobalResult tm;
+    };
+    ParallelSweep sweep(config.jobs);
+    std::fprintf(stderr, "  running %zu benchmarks on %d workers\n",
+                 names.size(), sweep.workers());
+    auto rows = sweep.map<Row>(names.size(), [&](std::size_t i) {
+        Runner local(benchmarkConfig(config, i));
+        Row row;
+        row.sync = local.runSynchronous(names[i], config.dvfs.freqMax);
+        row.fm = local.runGlobalAtDegradation(names[i], target_deg);
         Tick target_time = static_cast<Tick>(
-            static_cast<double>(sync.time) * (1.0 + target_deg));
-        GlobalResult tm = runner.runGlobalMatching(name, target_time);
+            static_cast<double>(row.sync.time) * (1.0 + target_deg));
+        row.tm = local.runGlobalMatching(names[i], target_time);
+        return row;
+    });
 
-        ComparisonMetrics m_fm = compare(sync, fm.stats);
-        ComparisonMetrics m_tm = compare(sync, tm.stats);
+    std::vector<ComparisonMetrics> fm_all, tm_all;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const Row &row = rows[i];
+        ComparisonMetrics m_fm = compare(row.sync, row.fm.stats);
+        ComparisonMetrics m_tm = compare(row.sync, row.tm.stats);
         fm_all.push_back(m_fm);
         tm_all.push_back(m_tm);
-        table.addRow({name, ghz(fm.freq), pct(m_fm.perfDegradation),
-                      pct(m_fm.energySavings), ghz(tm.freq),
+        table.addRow({names[i], ghz(row.fm.freq),
+                      pct(m_fm.perfDegradation),
+                      pct(m_fm.energySavings), ghz(row.tm.freq),
                       pct(m_tm.perfDegradation),
                       pct(m_tm.energySavings)});
     }

@@ -37,13 +37,19 @@ main()
         config.intervalInstructions = interval;
         Runner runner(config);
 
+        // Baseline and A/D run of one benchmark share the derived
+        // seed (same index in both batches), keeping them comparable.
+        auto mcd_base = runPerBenchmark(
+            runner, names, [](Runner &r, const std::string &name) {
+                return r.runMcdBaseline(name);
+            });
+        auto ad_stats = runPerBenchmark(
+            runner, names, [](Runner &r, const std::string &name) {
+                return r.runAttackDecay(name, scaledAttackDecay());
+            });
         std::vector<ComparisonMetrics> vs_mcd;
-        for (const auto &name : names) {
-            SimStats mcd_base = runner.runMcdBaseline(name);
-            SimStats stats =
-                runner.runAttackDecay(name, scaledAttackDecay());
-            vs_mcd.push_back(compare(mcd_base, stats));
-        }
+        for (std::size_t i = 0; i < names.size(); ++i)
+            vs_mcd.push_back(compare(mcd_base[i], ad_stats[i]));
         table.addRow({std::to_string(interval),
                       std::to_string(config.instructions /
                                      static_cast<std::uint64_t>(

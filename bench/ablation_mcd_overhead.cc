@@ -51,13 +51,18 @@ main()
         config.jitter = c.jitter;
         Runner runner(config);
 
+        auto sync_stats = runPerBenchmark(
+            runner, names,
+            [&config](Runner &r, const std::string &name) {
+                return r.runSynchronous(name, config.dvfs.freqMax);
+            });
+        auto mcd_stats = runPerBenchmark(
+            runner, names, [](Runner &r, const std::string &name) {
+                return r.runMcdBaseline(name);
+            });
         std::vector<ComparisonMetrics> vs_sync;
-        for (const auto &name : names) {
-            SimStats sync = runner.runSynchronous(
-                name, config.dvfs.freqMax);
-            SimStats mcd = runner.runMcdBaseline(name);
-            vs_sync.push_back(compare(sync, mcd));
-        }
+        for (std::size_t i = 0; i < names.size(); ++i)
+            vs_sync.push_back(compare(sync_stats[i], mcd_stats[i]));
         table.addRow({c.name,
                       pct(meanOf(vs_sync,
                                  &ComparisonMetrics::perfDegradation)),

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "harness/parallel_sweep.hh"
 #include "workload/benchmark_factory.hh"
 
 namespace mcd::bench
@@ -42,6 +43,14 @@ selectedBenchmarks()
         if (!item.empty())
             names.push_back(item);
     return names;
+}
+
+RunnerConfig
+benchmarkConfig(const RunnerConfig &base, std::size_t index)
+{
+    RunnerConfig config = base;
+    config.clockSeed = deriveJobSeed(config.clockSeed, index);
+    return config;
 }
 
 BenchResults
@@ -86,15 +95,23 @@ std::vector<BenchResults>
 computeAll(Runner &runner, const std::vector<std::string> &names,
            const ComputeOptions &options)
 {
-    std::vector<BenchResults> all;
-    all.reserve(names.size());
-    for (const auto &name : names) {
-        std::fprintf(stderr, "  running %-12s ...", name.c_str());
-        std::fflush(stderr);
-        all.push_back(computeOne(runner, name, options));
-        std::fprintf(stderr, " done\n");
-    }
-    return all;
+    // One job per benchmark. Each job gets its own Runner whose clock
+    // seed is derived from the job index, so every variant of one
+    // benchmark (computed inside the job) stays comparable while
+    // results are bit-identical for any worker count. The inner
+    // offline searches run serial (jobs = 1): parallelism lives at the
+    // benchmark level here, and nesting pools would oversubscribe.
+    ParallelSweep sweep(runner.config().jobs);
+    std::fprintf(stderr, "  running %zu benchmarks on %d workers\n",
+                 names.size(), sweep.workers());
+    return sweep.map<BenchResults>(names.size(), [&](std::size_t i) {
+        RunnerConfig config = benchmarkConfig(runner.config(), i);
+        config.jobs = 1;
+        Runner local(config);
+        BenchResults r = computeOne(local, names[i], options);
+        std::fprintf(stderr, "  done %s\n", names[i].c_str());
+        return r;
+    });
 }
 
 void

@@ -10,6 +10,7 @@
  *   MCD_WARMUP      warm-up instructions            (default 50000)
  *   MCD_INTERVAL    controller interval             (default 1000)
  *   MCD_BENCHMARKS  comma-separated benchmark list  (default: all 30)
+ *   MCD_JOBS        sweep worker threads            (default: all cores)
  */
 
 #ifndef MCD_BENCH_BENCH_UTIL_HH
@@ -69,12 +70,25 @@ AttackDecayConfig scaledAttackDecay();
 /** Benchmarks selected via MCD_BENCHMARKS, or all 30. */
 std::vector<std::string> selectedBenchmarks();
 
+/**
+ * The methodology for benchmark index `i` of a batch: the base config
+ * with the clock seed derived from `i`. The single seed-matching
+ * point for every bench-side batch — all runs of one benchmark
+ * (baseline or variant, in any batch over the same list) must use
+ * this config so comparisons consume the same clock stream.
+ */
+RunnerConfig benchmarkConfig(const RunnerConfig &base,
+                             std::size_t index);
+
 /** Run the canonical experiment set for one benchmark. */
 BenchResults computeOne(Runner &runner, const std::string &name,
                         const ComputeOptions &options);
 
-/** Run the canonical experiment set for many benchmarks, with progress
- *  lines on stderr. */
+/**
+ * Run the canonical experiment set for many benchmarks, fanned across
+ * the ParallelSweep workers (MCD_JOBS), with progress lines on stderr.
+ * Results are in `names` order and bit-identical for any worker count.
+ */
 std::vector<BenchResults>
 computeAll(Runner &runner, const std::vector<std::string> &names,
            const ComputeOptions &options);

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "harness/parallel_sweep.hh"
+
 namespace mcd::bench
 {
 
@@ -17,17 +19,44 @@ sweepBenchmarks()
             "power", "art", "bzip2", "gcc", "mcf", "swim"};
 }
 
+std::vector<SimStats>
+runPerBenchmark(
+    const Runner &runner, const std::vector<std::string> &names,
+    const std::function<SimStats(Runner &, const std::string &)>
+        &measure)
+{
+    ParallelSweep sweep(runner.config().jobs);
+    return sweep.map<SimStats>(names.size(), [&](std::size_t i) {
+        Runner local(benchmarkConfig(runner.config(), i));
+        return measure(local, names[i]);
+    });
+}
+
 SweepBaselines
 computeBaselines(Runner &runner, const std::vector<std::string> &names)
 {
+    // Both baseline batches derive benchmark i's seed from i
+    // (benchmarkConfig), exactly like the Attack/Decay batches of
+    // every sweep point, so each comparison consumes one clock stream
+    // end to end.
+    std::fprintf(stderr, "  running %zu baselines on %d workers ...",
+                 2 * names.size(),
+                 ParallelSweep(runner.config().jobs).workers());
+    std::fflush(stderr);
+    auto mcd = runPerBenchmark(
+        runner, names, [](Runner &r, const std::string &name) {
+            return r.runMcdBaseline(name);
+        });
+    auto sync = runPerBenchmark(
+        runner, names, [](Runner &r, const std::string &name) {
+            return r.runSynchronous(name, r.config().dvfs.freqMax);
+        });
+    std::fprintf(stderr, " done\n");
+
     SweepBaselines baselines;
-    for (const auto &name : names) {
-        std::fprintf(stderr, "  baseline %-12s ...", name.c_str());
-        std::fflush(stderr);
-        baselines.mcd[name] = runner.runMcdBaseline(name);
-        baselines.sync[name] = runner.runSynchronous(
-            name, runner.config().dvfs.freqMax);
-        std::fprintf(stderr, " done\n");
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        baselines.mcd[names[i]] = mcd[i];
+        baselines.sync[names[i]] = sync[i];
     }
     return baselines;
 }
@@ -37,12 +66,20 @@ runSweepPoint(Runner &runner, const std::vector<std::string> &names,
               const SweepBaselines &baselines,
               const AttackDecayConfig &adc, double parameter)
 {
+    auto results = runPerBenchmark(
+        runner, names, [&adc](Runner &r, const std::string &name) {
+            return r.runAttackDecay(name, adc);
+        });
+
+    // Aggregate strictly in benchmark order on the collected batch, so
+    // the floating-point sums never depend on completion order.
     std::vector<ComparisonMetrics> vs_mcd;
     std::vector<ComparisonMetrics> vs_sync;
-    for (const auto &name : names) {
-        SimStats stats = runner.runAttackDecay(name, adc);
-        vs_mcd.push_back(compare(baselines.mcd.at(name), stats));
-        vs_sync.push_back(compare(baselines.sync.at(name), stats));
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        vs_mcd.push_back(compare(baselines.mcd.at(names[i]),
+                                 results[i]));
+        vs_sync.push_back(compare(baselines.sync.at(names[i]),
+                                  results[i]));
     }
 
     SweepPoint point;

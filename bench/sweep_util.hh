@@ -2,12 +2,17 @@
  * @file
  * Shared machinery for the sensitivity-sweep benches (Figures 5, 6, 7):
  * per-sweep-point Attack/Decay runs over a representative benchmark
- * subset, with cached baseline runs.
+ * subset, with cached baseline runs. Runs fan out across the
+ * ParallelSweep workers (MCD_JOBS); per-benchmark seeds are derived
+ * from the benchmark's index, shared between each baseline and every
+ * sweep point, so comparisons stay seed-matched and aggregates are
+ * bit-identical for any worker count.
  */
 
 #ifndef MCD_BENCH_SWEEP_UTIL_HH
 #define MCD_BENCH_SWEEP_UTIL_HH
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -20,6 +25,18 @@ namespace mcd::bench
 
 /** Benchmarks used for parameter sweeps (override: MCD_BENCHMARKS). */
 std::vector<std::string> sweepBenchmarks();
+
+/**
+ * Run one measurement per benchmark on seed-matched per-benchmark
+ * Runners (benchmarkConfig), fanned across the ParallelSweep workers.
+ * `measure` executes concurrently: it must only touch its own locals
+ * and the (shared, read-only) captures. Results come back in `names`
+ * order, bit-identical for any worker count.
+ */
+std::vector<SimStats> runPerBenchmark(
+    const Runner &runner, const std::vector<std::string> &names,
+    const std::function<SimStats(Runner &, const std::string &)>
+        &measure);
 
 /** Cached per-benchmark baselines reused across sweep points. */
 struct SweepBaselines

@@ -1,0 +1,69 @@
+#include "common/thread_pool.hh"
+
+#include <algorithm>
+
+namespace mcd
+{
+
+ThreadPool::ThreadPool(int workers)
+{
+    int count = std::max(1, workers);
+    threads_.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    task_ready_.notify_all();
+    for (auto &thread : threads_)
+        thread.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    task_ready_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_done_.wait(lock,
+                   [this] { return queue_.empty() && running_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        task_ready_.wait(
+            lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            if (stopping_)
+                return;
+            continue;
+        }
+        std::function<void()> task = std::move(queue_.front());
+        queue_.pop_front();
+        ++running_;
+        lock.unlock();
+        task();
+        lock.lock();
+        --running_;
+        if (queue_.empty() && running_ == 0)
+            all_done_.notify_all();
+    }
+}
+
+} // namespace mcd

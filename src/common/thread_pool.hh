@@ -1,0 +1,72 @@
+/**
+ * @file
+ * A fixed-size worker pool executing submitted tasks FIFO.
+ *
+ * The pool is the low-level substrate of the batch sweep engine
+ * (harness/parallel_sweep.hh): simulation jobs are coarse (whole runs,
+ * seconds each), so a simple mutex-protected queue is more than fast
+ * enough and keeps the scheduling semantics easy to reason about.
+ * Determinism is the callers' concern: tasks must write to disjoint,
+ * pre-assigned slots so results do not depend on execution order.
+ */
+
+#ifndef MCD_COMMON_THREAD_POOL_HH
+#define MCD_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mcd
+{
+
+/** Fixed set of worker threads draining a FIFO task queue. */
+class ThreadPool
+{
+  public:
+    /** Spawn `workers` threads (clamped to at least one). */
+    explicit ThreadPool(int workers);
+
+    /** Waits for queued work to finish, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueue one task. Safe from any thread, including workers.
+     *
+     * Tasks must not let exceptions escape: one thrown from a task
+     * propagates out of the worker thread and terminates the process.
+     * Callers that need error propagation wrap the task body and
+     * capture the exception themselves, as ParallelSweep::forEach
+     * does.
+     */
+    void submit(std::function<void()> task);
+
+    /** Block until the queue is empty and no task is running. */
+    void wait();
+
+    int workerCount() const
+    {
+        return static_cast<int>(threads_.size());
+    }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> threads_;
+    std::deque<std::function<void()>> queue_;
+    mutable std::mutex mutex_;
+    std::condition_variable task_ready_;
+    std::condition_variable all_done_;
+    int running_ = 0;    //!< tasks currently executing
+    bool stopping_ = false;
+};
+
+} // namespace mcd
+
+#endif // MCD_COMMON_THREAD_POOL_HH

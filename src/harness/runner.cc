@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <iterator>
 
 #include "common/logging.hh"
+#include "harness/parallel_sweep.hh"
 
 namespace mcd
 {
@@ -26,6 +28,11 @@ RunnerConfig::applyEnvOverrides()
         long long v = std::atoll(s);
         if (v > 0)
             intervalInstructions = static_cast<int>(v);
+    }
+    if (const char *s = std::getenv("MCD_JOBS")) {
+        long long v = std::atoll(s);
+        if (v > 0)
+            jobs = static_cast<int>(v);
     }
 }
 
@@ -122,79 +129,161 @@ Runner::runOfflineDynamic(const std::string &bench, double target_deg,
         return (static_cast<double>(s.time) - t_base) / t_base;
     };
 
-    // Phase 1: binary-search a shared margin. Margin is monotone:
-    // larger margin -> higher frequencies -> less degradation.
-    double lo = 0.0;   // most aggressive
-    double hi = 1.0;   // all domains at maximum
-    OfflineResult best;
-    bool have_best = false;
-
-    auto consider = [&](const std::array<double, NUM_CONTROLLED>
-                            &margins,
-                        double shared_margin) {
-        auto schedule = deriveSchedule(profile, dvfs, margins);
-        SimStats stats = runSchedule(bench, schedule);
-        double deg = degradation(stats);
-        bool accepted = deg <= target_deg &&
-            (!have_best || stats.chipEnergy < best.stats.chipEnergy);
-        if (accepted) {
-            best.stats = stats;
-            best.margin = shared_margin;
-            best.achievedDeg = deg;
-            have_best = true;
-        }
-        return std::pair<double, bool>(deg, accepted);
+    // Every probe is an independent schedule replay of the same
+    // benchmark; batches fan out across the sweep engine's workers.
+    // Probes deliberately keep this runner's clock seed (no per-job
+    // derivation): degradation is measured against `mcd_base`, which
+    // consumed exactly that clock stream.
+    using Margins = std::array<double, NUM_CONTROLLED>;
+    struct Probe
+    {
+        Margins margins{};
+        SimStats stats{};
+        double deg = 0.0;
+    };
+    ParallelSweep sweep(config_.jobs);
+    auto probeBatch = [&](const std::vector<Margins> &batch) {
+        return sweep.map<Probe>(batch.size(), [&](std::size_t i) {
+            auto schedule = deriveSchedule(profile, dvfs, batch[i]);
+            Runner local(config_);
+            Probe probe;
+            probe.margins = batch[i];
+            probe.stats = local.runSchedule(bench, schedule);
+            probe.deg = degradation(probe.stats);
+            return probe;
+        });
+    };
+    auto uniform = [](double m) {
+        Margins margins;
+        margins.fill(m);
+        return margins;
     };
 
+    OfflineResult best;
+    bool have_best = false;
+    // Batches are scanned in index order with strict comparisons, so
+    // the selected optimum never depends on execution schedule.
+    auto consider = [&](const Probe &probe, double shared_margin) {
+        bool feasible = probe.deg <= target_deg;
+        if (feasible &&
+            (!have_best ||
+             probe.stats.chipEnergy < best.stats.chipEnergy)) {
+            best.stats = probe.stats;
+            best.margin = shared_margin;
+            best.achievedDeg = probe.deg;
+            have_best = true;
+        }
+        return feasible;
+    };
+
+    // Phase 1: coarse grid over the shared margin. Margin is monotone:
+    // larger margin -> higher frequencies -> less degradation, so the
+    // smallest feasible grid point brackets the optimum. The grid
+    // replaces the former 7-iteration binary search with one parallel
+    // batch.
+    constexpr int COARSE = 8;
+    std::vector<Margins> coarse_batch;
+    for (int k = 0; k <= COARSE; ++k)
+        coarse_batch.push_back(uniform(static_cast<double>(k) / COARSE));
+    auto coarse = probeBatch(coarse_batch);
+
     double shared = 1.0;
-    for (int iter = 0; iter < 7; ++iter) {
-        double margin = 0.5 * (lo + hi);
-        std::array<double, NUM_CONTROLLED> margins;
-        margins.fill(margin);
-        auto [deg, accepted] = consider(margins, margin);
-        (void)accepted;
-        if (deg > target_deg) {
-            lo = margin; // too slow: be less aggressive
-        } else {
-            hi = margin; // within cap: try more aggressive
+    double bracket_lo = 1.0; // largest infeasible margin below `shared`
+    bool found = false;
+    for (int k = 0; k <= COARSE; ++k) {
+        double margin = static_cast<double>(k) / COARSE;
+        if (consider(coarse[static_cast<std::size_t>(k)], margin) &&
+            !found) {
             shared = margin;
+            bracket_lo = static_cast<double>(k - 1) / COARSE;
+            found = true;
         }
     }
-
-    if (!have_best) {
-        // Even margin = 1 (everything at f_max) should satisfy the cap;
-        // fall back to it explicitly.
-        std::array<double, NUM_CONTROLLED> margins;
-        margins.fill(1.0);
-        consider(margins, 1.0);
-        if (!have_best) {
-            auto schedule = deriveSchedule(profile, dvfs, 1.0);
-            best.stats = runSchedule(bench, schedule);
-            best.margin = 1.0;
-            best.achievedDeg = degradation(best.stats);
-            return best;
-        }
+    if (!found) {
+        // Even margin = 1 (everything at f_max) missed the cap; hold
+        // the least aggressive schedule, mirroring the cap-miss
+        // fallback of the original search.
+        best.stats = coarse.back().stats;
+        best.margin = 1.0;
+        best.achievedDeg = coarse.back().deg;
+        return best;
     }
 
-    // Phase 2: per-domain refinement (coordinate descent). A shared
-    // margin is gated by the single most sensitive domain; the original
-    // shaker algorithm distributes slack per domain, which this
-    // approximates by independently lowering each domain's margin while
-    // the cap still holds.
-    std::array<double, NUM_CONTROLLED> margins;
-    margins.fill(shared);
-    for (int slot = 0; slot < NUM_CONTROLLED; ++slot) {
-        auto s = static_cast<std::size_t>(slot);
-        for (double factor : {0.5, 0.25, 0.0}) {
-            double saved = margins[s];
-            margins[s] = shared * factor;
-            auto [deg, accepted] = consider(margins, shared);
-            (void)deg;
-            if (!accepted) {
-                margins[s] = saved; // revert and stop lowering
-                break;
+    // Phase 2: refine inside the bracketing coarse interval with a
+    // second parallel batch (resolution 1/64, comparable to the old
+    // binary search).
+    if (shared > 0.0) {
+        constexpr int FINE = 8;
+        std::vector<Margins> fine_batch;
+        std::vector<double> fine_margins;
+        for (int j = 1; j < FINE; ++j) {
+            double margin = bracket_lo +
+                (shared - bracket_lo) * static_cast<double>(j) / FINE;
+            fine_margins.push_back(margin);
+            fine_batch.push_back(uniform(margin));
+        }
+        auto fine = probeBatch(fine_batch);
+        for (std::size_t j = 0; j < fine.size(); ++j) {
+            if (consider(fine[j], fine_margins[j])) {
+                shared = std::min(shared, fine_margins[j]);
             }
         }
+    }
+
+    // Phase 3: per-domain refinement. A shared margin is gated by the
+    // single most sensitive domain; the original shaker algorithm
+    // distributes slack per domain. Probe every (domain, factor)
+    // candidate independently from the shared point in one parallel
+    // batch, then combine greedily.
+    const double factors[] = {0.5, 0.25, 0.0};
+    std::vector<Margins> domain_batch;
+    for (int slot = 0; slot < NUM_CONTROLLED; ++slot) {
+        for (double factor : factors) {
+            Margins margins = uniform(shared);
+            margins[static_cast<std::size_t>(slot)] = shared * factor;
+            domain_batch.push_back(margins);
+        }
+    }
+    auto domain_probes = probeBatch(domain_batch);
+
+    // Per domain, the deepest factor whose solo probe stays feasible
+    // (scanning shallow to deep, stopping at the first miss, like the
+    // former coordinate descent).
+    std::array<double, NUM_CONTROLLED> best_factor;
+    best_factor.fill(1.0);
+    for (int slot = 0; slot < NUM_CONTROLLED; ++slot) {
+        for (std::size_t f = 0; f < std::size(factors); ++f) {
+            const Probe &probe = domain_probes[
+                static_cast<std::size_t>(slot) * std::size(factors) + f];
+            if (!consider(probe, shared))
+                break;
+            best_factor[static_cast<std::size_t>(slot)] = factors[f];
+        }
+    }
+
+    // Phase 4: combine the per-domain winners cumulatively (domains
+    // interact, so each addition is validated with one run and
+    // reverted if the cap breaks). The first addition needs no new
+    // run: lowering a single domain from the shared point is exactly
+    // its Phase-3 solo probe, already measured and accepted.
+    Margins margins = uniform(shared);
+    bool pristine = true; // margins still equal the shared point
+    for (int slot = 0; slot < NUM_CONTROLLED; ++slot) {
+        auto s = static_cast<std::size_t>(slot);
+        if (best_factor[s] >= 1.0)
+            continue;
+        Margins trial = margins;
+        trial[s] = shared * best_factor[s];
+        if (trial == margins)
+            continue;
+        if (pristine) {
+            margins = trial;
+            pristine = false;
+            continue;
+        }
+        auto probe = probeBatch({trial});
+        if (consider(probe[0], shared))
+            margins = trial;
     }
     return best;
 }

@@ -49,7 +49,17 @@ struct RunnerConfig
      */
     int intervalInstructions = 1000;
 
-    /** Apply MCD_INSNS / MCD_WARMUP / MCD_INTERVAL env overrides. */
+    /**
+     * Worker threads for batched searches (the offline Dynamic-X%
+     * margin probes) and for ParallelSweep instances built from this
+     * config. 0 selects ParallelSweep::defaultWorkers() (MCD_JOBS env
+     * override, else hardware concurrency); 1 forces serial execution.
+     * Results are bit-identical for any value.
+     */
+    int jobs = 0;
+
+    /** Apply MCD_INSNS / MCD_WARMUP / MCD_INTERVAL / MCD_JOBS env
+     *  overrides. */
     void applyEnvOverrides();
 };
 

@@ -221,19 +221,100 @@ TEST(Runner, GlobalMatchingHitsTargetTime)
     EXPECT_LT(result.freq, 1.0e9);
 }
 
+/** Scoped unsetter so env-var tests cannot leak into one another. */
+class EnvGuard
+{
+  public:
+    EnvGuard()
+    {
+        clear();
+    }
+
+    ~EnvGuard()
+    {
+        clear();
+    }
+
+  private:
+    void
+    clear()
+    {
+        unsetenv("MCD_INSNS");
+        unsetenv("MCD_WARMUP");
+        unsetenv("MCD_INTERVAL");
+        unsetenv("MCD_JOBS");
+    }
+};
+
 TEST(Runner, EnvOverrides)
 {
+    EnvGuard guard;
     setenv("MCD_INSNS", "12345", 1);
     setenv("MCD_WARMUP", "678", 1);
     setenv("MCD_INTERVAL", "250", 1);
+    setenv("MCD_JOBS", "4", 1);
     RunnerConfig config;
     config.applyEnvOverrides();
     EXPECT_EQ(config.instructions, 12345u);
     EXPECT_EQ(config.warmup, 678u);
     EXPECT_EQ(config.intervalInstructions, 250);
-    unsetenv("MCD_INSNS");
-    unsetenv("MCD_WARMUP");
-    unsetenv("MCD_INTERVAL");
+    EXPECT_EQ(config.jobs, 4);
+}
+
+TEST(Runner, EnvOverridesAbsentLeaveDefaults)
+{
+    EnvGuard guard;
+    RunnerConfig config;
+    config.applyEnvOverrides();
+    RunnerConfig defaults;
+    EXPECT_EQ(config.instructions, defaults.instructions);
+    EXPECT_EQ(config.warmup, defaults.warmup);
+    EXPECT_EQ(config.intervalInstructions,
+              defaults.intervalInstructions);
+    EXPECT_EQ(config.jobs, defaults.jobs);
+}
+
+TEST(Runner, EnvOverridesIgnoreBadValues)
+{
+    EnvGuard guard;
+    // Non-numeric, zero, and negative values must not clobber a sane
+    // configuration (zero instructions or interval would hang or
+    // divide by zero downstream).
+    setenv("MCD_INSNS", "banana", 1);
+    setenv("MCD_WARMUP", "-5", 1);
+    setenv("MCD_INTERVAL", "0", 1);
+    setenv("MCD_JOBS", "-2", 1);
+    RunnerConfig config;
+    config.applyEnvOverrides();
+    RunnerConfig defaults;
+    EXPECT_EQ(config.instructions, defaults.instructions);
+    EXPECT_EQ(config.warmup, defaults.warmup);
+    EXPECT_EQ(config.intervalInstructions,
+              defaults.intervalInstructions);
+    EXPECT_EQ(config.jobs, defaults.jobs);
+}
+
+TEST(Runner, EnvOverridesAllowZeroWarmup)
+{
+    EnvGuard guard;
+    // Warm-up may legitimately be disabled entirely.
+    setenv("MCD_WARMUP", "0", 1);
+    RunnerConfig config;
+    config.applyEnvOverrides();
+    EXPECT_EQ(config.warmup, 0u);
+}
+
+TEST(Runner, EnvOverridesPartialSetTouchesOnlyThatKnob)
+{
+    EnvGuard guard;
+    setenv("MCD_INTERVAL", "750", 1);
+    RunnerConfig config;
+    config.applyEnvOverrides();
+    RunnerConfig defaults;
+    EXPECT_EQ(config.intervalInstructions, 750);
+    EXPECT_EQ(config.instructions, defaults.instructions);
+    EXPECT_EQ(config.warmup, defaults.warmup);
+    EXPECT_EQ(config.jobs, defaults.jobs);
 }
 
 TEST(Runner, IdenticalVariantsShareTheWorkloadStream)

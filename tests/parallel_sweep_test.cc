@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Tests for the batch sweep engine: the thread pool, deterministic
+ * per-job seed derivation, and the central property that a sweep (and
+ * everything layered on it, including the offline Dynamic-X% search)
+ * produces bit-identical results for any worker count, with
+ * aggregation independent of completion order.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "harness/metrics.hh"
+#include "harness/parallel_sweep.hh"
+
+namespace mcd
+{
+namespace
+{
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusableBetweenBatches)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int batch = 0; batch < 3; ++batch) {
+        for (int i = 0; i < 10; ++i)
+            pool.submit([&count] { ++count; });
+        pool.wait();
+        EXPECT_EQ(count.load(), 10 * (batch + 1));
+    }
+}
+
+TEST(ThreadPool, ClampsWorkerCountToAtLeastOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.workerCount(), 1);
+    std::atomic<int> count{0};
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(DeriveJobSeed, DeterministicAndDistinct)
+{
+    EXPECT_EQ(deriveJobSeed(12345, 0), deriveJobSeed(12345, 0));
+    std::set<std::uint64_t> seeds;
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        seeds.insert(deriveJobSeed(12345, i));
+    EXPECT_EQ(seeds.size(), 1000u);
+    // Different bases give different streams.
+    EXPECT_NE(deriveJobSeed(1, 0), deriveJobSeed(2, 0));
+}
+
+TEST(ParallelSweep, ForEachCoversEveryIndexOnce)
+{
+    ParallelSweep sweep(4);
+    std::vector<std::atomic<int>> hits(257);
+    sweep.forEach(hits.size(),
+                  [&](std::size_t i) { ++hits[i]; });
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelSweep, MapReturnsResultsInIndexOrder)
+{
+    ParallelSweep sweep(8);
+    auto values = sweep.map<std::size_t>(
+        100, [](std::size_t i) { return i * i; });
+    for (std::size_t i = 0; i < values.size(); ++i)
+        EXPECT_EQ(values[i], i * i);
+}
+
+TEST(ParallelSweep, ForEachRethrowsLowestIndexException)
+{
+    ParallelSweep sweep(4);
+    try {
+        sweep.forEach(16, [](std::size_t i) {
+            if (i == 3 || i == 11)
+                throw std::runtime_error("job " + std::to_string(i));
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "job 3");
+    }
+}
+
+TEST(ParallelSweep, DefaultWorkersHonorsMcdJobs)
+{
+    setenv("MCD_JOBS", "3", 1);
+    EXPECT_EQ(ParallelSweep::defaultWorkers(), 3);
+    EXPECT_EQ(ParallelSweep(0).workers(), 3);
+    EXPECT_EQ(ParallelSweep(5).workers(), 5); // explicit wins
+    setenv("MCD_JOBS", "junk", 1);
+    EXPECT_GE(ParallelSweep::defaultWorkers(), 1);
+    unsetenv("MCD_JOBS");
+    EXPECT_GE(ParallelSweep::defaultWorkers(), 1);
+}
+
+RunnerConfig
+tinyConfig()
+{
+    RunnerConfig config;
+    config.instructions = 8000;
+    config.warmup = 2000;
+    config.intervalInstructions = 500;
+    return config;
+}
+
+std::vector<SweepJob>
+tinyJobs()
+{
+    const std::vector<std::string> names = {"adpcm", "gsm", "mcf",
+                                            "epic", "swim"};
+    std::vector<SweepJob> jobs;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const std::string name = names[i];
+        jobs.push_back({name, tinyConfig(), i, [name](Runner &r) {
+                            return r.runMcdBaseline(name);
+                        }});
+    }
+    return jobs;
+}
+
+void
+expectIdenticalStats(const SimStats &a, const SimStats &b)
+{
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.feCycles, b.feCycles);
+    EXPECT_EQ(a.time, b.time);
+    // Bit-identical, not approximately equal: the whole point is that
+    // scheduling never perturbs a single floating-point operation.
+    EXPECT_EQ(a.chipEnergy, b.chipEnergy);
+    EXPECT_EQ(a.cpi, b.cpi);
+    EXPECT_EQ(a.epi, b.epi);
+    for (int d = 0; d < NUM_CLOCKED_DOMAINS; ++d) {
+        EXPECT_EQ(a.domainEnergy[static_cast<std::size_t>(d)],
+                  b.domainEnergy[static_cast<std::size_t>(d)]);
+    }
+}
+
+TEST(ParallelSweep, OneWorkerAndManyWorkersAreBitIdentical)
+{
+    auto jobs = tinyJobs();
+    auto serial = ParallelSweep(1).run(jobs);
+    auto parallel4 = ParallelSweep(4).run(jobs);
+    auto parallel8 = ParallelSweep(8).run(jobs);
+
+    ASSERT_EQ(serial.size(), jobs.size());
+    ASSERT_EQ(parallel4.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(serial[i].label, jobs[i].label);
+        EXPECT_EQ(parallel4[i].label, jobs[i].label);
+        expectIdenticalStats(serial[i].stats, parallel4[i].stats);
+        expectIdenticalStats(serial[i].stats, parallel8[i].stats);
+    }
+}
+
+TEST(ParallelSweep, SeedIndexSelectsTheClockStream)
+{
+    // Same seedIndex => identical machine; different seedIndex =>
+    // different jittered clock stream => different timings.
+    SweepJob a{"a", tinyConfig(), 7, [](Runner &r) {
+                   return r.runMcdBaseline("gsm");
+               }};
+    SweepJob b = a;
+    b.label = "b";
+    SweepJob c = a;
+    c.label = "c";
+    c.seedIndex = 8;
+
+    auto results = ParallelSweep(3).run({a, b, c});
+    expectIdenticalStats(results[0].stats, results[1].stats);
+    EXPECT_NE(results[0].stats.time, results[2].stats.time);
+}
+
+TEST(ParallelSweep, AggregationIsIndependentOfCompletionOrder)
+{
+    // Aggregate the same batch through the metrics layer from result
+    // vectors produced under different worker counts (and hence
+    // different completion orders): because results land in job order,
+    // every floating-point accumulation is performed in the same
+    // sequence and the aggregate is bit-identical.
+    auto jobs = tinyJobs();
+    std::vector<SweepJob> ad_jobs;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const std::string name = jobs[i].label;
+        ad_jobs.push_back({name, tinyConfig(), i, [name](Runner &r) {
+                               return r.runAttackDecay(
+                                   name, AttackDecayConfig{});
+                           }});
+    }
+
+    auto aggregate = [&](int workers) {
+        ParallelSweep sweep(workers);
+        auto base = sweep.run(jobs);
+        auto variant = sweep.run(ad_jobs);
+        std::vector<ComparisonMetrics> all;
+        for (std::size_t i = 0; i < base.size(); ++i)
+            all.push_back(compare(base[i].stats, variant[i].stats));
+        return std::pair<double, double>(
+            meanOf(all, &ComparisonMetrics::energySavings),
+            powerPerfRatio(all));
+    };
+
+    auto [mean1, ppr1] = aggregate(1);
+    auto [mean2, ppr2] = aggregate(2);
+    auto [mean7, ppr7] = aggregate(7);
+    EXPECT_EQ(mean1, mean2);
+    EXPECT_EQ(mean1, mean7);
+    EXPECT_EQ(ppr1, ppr2);
+    EXPECT_EQ(ppr1, ppr7);
+}
+
+TEST(ParallelSweep, OfflineSearchIsBitIdenticalForAnyWorkerCount)
+{
+    // The offline Dynamic-X% margin search fans its schedule probes
+    // through the engine; its result must not depend on the worker
+    // count either.
+    auto search = [](int jobs) {
+        RunnerConfig config;
+        config.instructions = 8000;
+        config.warmup = 2000;
+        config.intervalInstructions = 500;
+        config.jobs = jobs;
+        Runner runner(config);
+        std::vector<IntervalProfile> profile;
+        SimStats mcd = runner.runMcdBaseline("gsm", &profile);
+        return runner.runOfflineDynamic("gsm", 0.05, mcd, profile);
+    };
+
+    OfflineResult serial = search(1);
+    OfflineResult parallel = search(6);
+    EXPECT_EQ(serial.margin, parallel.margin);
+    EXPECT_EQ(serial.achievedDeg, parallel.achievedDeg);
+    expectIdenticalStats(serial.stats, parallel.stats);
+}
+
+} // namespace
+} // namespace mcd
