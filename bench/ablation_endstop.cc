@@ -37,10 +37,7 @@ main()
         adc.endstopCount = count;
         std::fprintf(stderr, "  endstop = %d\n", count);
 
-        auto stats = runPerBenchmark(
-            runner, names, [&adc](Runner &r, const std::string &name) {
-                return r.runAttackDecay(name, adc);
-            });
+        auto stats = runVariant(runner, names, attackDecaySpec(adc));
         std::vector<ComparisonMetrics> vs_mcd;
         for (std::size_t i = 0; i < names.size(); ++i)
             vs_mcd.push_back(compare(baselines.mcd.at(names[i]),

@@ -14,8 +14,10 @@
  */
 
 #include <cstdio>
+#include <memory>
 #include <vector>
 
+#include "common/logging.hh"
 #include "sweep_util.hh"
 
 using namespace mcd;
@@ -54,12 +56,46 @@ class PinnedFrontEndController : public FrequencyController
     Hertz fe_freq_;
 };
 
+/**
+ * This ablation's controller is not part of the library: registering
+ * it here is the extension path the registry exists for — one
+ * registration and the spec-driven batch helpers (and mcd_cli, were
+ * this registered in the library) can drive it.
+ */
+void
+registerPinnedFrontEnd()
+{
+    ControllerRegistry::instance().add(
+        "pinned_frontend",
+        "front end pinned to `freq` (Hz); back end at maximum",
+        [](const ControllerSpec &spec)
+            -> std::unique_ptr<FrequencyController> {
+            ControllerRegistry::checkParams(spec, {"freq"});
+            auto it = spec.params.find("freq");
+            if (it == spec.params.end())
+                mcd_fatal("controller 'pinned_frontend' requires a "
+                          "'freq' parameter (Hz)");
+            return std::make_unique<PinnedFrontEndController>(
+                it->second);
+        });
+}
+
+ControllerSpec
+pinnedFrontEndSpec(Hertz fe_freq)
+{
+    ControllerSpec spec;
+    spec.name = "pinned_frontend";
+    spec.params["freq"] = fe_freq;
+    return spec;
+}
+
 } // namespace
 
 int
 main()
 {
     std::printf("=== Ablation: front-end frequency scaling ===\n");
+    registerPinnedFrontEnd();
     RunnerConfig config = standardConfig();
     printMethodology(config);
     Runner runner(config);
@@ -73,14 +109,8 @@ main()
                      "deg / cut (1.0 = perfectly linear)"});
     for (Hertz fe : {0.9e9, 0.8e9, 0.7e9, 0.6e9}) {
         std::fprintf(stderr, "  front end at %.1f GHz\n", fe / 1e9);
-        auto stats = runPerBenchmark(
-            runner, names,
-            [fe, &config](Runner &r, const std::string &name) {
-                PinnedFrontEndController controller(fe);
-                return r.runWithController(name, ClockMode::Mcd,
-                                           config.dvfs.freqMax,
-                                           controller);
-            });
+        auto stats = runVariant(runner, names, pinnedFrontEndSpec(fe),
+                                ClockMode::Mcd, config.dvfs.freqMax);
         std::vector<ComparisonMetrics> vs_mcd;
         for (std::size_t i = 0; i < names.size(); ++i)
             vs_mcd.push_back(compare(baselines.mcd.at(names[i]),
@@ -105,19 +135,13 @@ main()
     {
         std::fprintf(stderr, "  A/D variants on %zu benchmarks\n",
                      names.size());
-        auto ad_stats = runPerBenchmark(
-            runner, names, [](Runner &r, const std::string &name) {
-                return r.runAttackDecay(name, scaledAttackDecay());
-            });
-        auto fe_stats = runPerBenchmark(
+        auto ad_stats = runVariant(runner, names,
+                                   attackDecaySpec(scaledAttackDecay()));
+        auto fe_stats = runVariant(
             runner, names,
-            [&config](Runner &r, const std::string &name) {
-                FrontEndAttackDecayController controller(
-                    scaledAttackDecay());
-                return r.runWithController(name, ClockMode::Mcd,
-                                           config.dvfs.freqMax,
-                                           controller);
-            });
+            attackDecaySpec(scaledAttackDecay(),
+                            "frontend_attack_decay"),
+            ClockMode::Mcd, config.dvfs.freqMax);
         std::vector<ComparisonMetrics> plain, extended;
         for (std::size_t i = 0; i < names.size(); ++i) {
             const SimStats &base = baselines.mcd.at(names[i]);

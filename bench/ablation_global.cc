@@ -48,11 +48,22 @@ main()
     ParallelSweep sweep(config.jobs);
     std::fprintf(stderr, "  running %zu benchmarks on %d workers\n",
                  names.size(), sweep.workers());
+
+    // The synchronous reference and the frequency-matched point are
+    // plain declarative runs (the matched frequency is a closed-form
+    // function of the target); only the time-matched search needs the
+    // adaptive Runner driver.
+    auto sync_stats = runVariant(runner, names, ControllerSpec{},
+                                 ClockMode::Synchronous,
+                                 config.dvfs.freqMax);
+    const Hertz fm_freq = runner.globalMatchedFrequency(target_deg);
+    auto fm_stats = runVariant(runner, names, ControllerSpec{},
+                               ClockMode::Synchronous, fm_freq);
     auto rows = sweep.map<Row>(names.size(), [&](std::size_t i) {
         Runner local(benchmarkConfig(config, i));
         Row row;
-        row.sync = local.runSynchronous(names[i], config.dvfs.freqMax);
-        row.fm = local.runGlobalAtDegradation(names[i], target_deg);
+        row.sync = sync_stats[i];
+        row.fm = GlobalResult{fm_stats[i], fm_freq};
         Tick target_time = static_cast<Tick>(
             static_cast<double>(row.sync.time) * (1.0 + target_deg));
         row.tm = local.runGlobalMatching(names[i], target_time);

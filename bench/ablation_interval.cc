@@ -39,14 +39,11 @@ main()
 
         // Baseline and A/D run of one benchmark share the derived
         // seed (same index in both batches), keeping them comparable.
-        auto mcd_base = runPerBenchmark(
-            runner, names, [](Runner &r, const std::string &name) {
-                return r.runMcdBaseline(name);
-            });
-        auto ad_stats = runPerBenchmark(
-            runner, names, [](Runner &r, const std::string &name) {
-                return r.runAttackDecay(name, scaledAttackDecay());
-            });
+        ControllerSpec profiling;
+        profiling.name = "profiling";
+        auto mcd_base = runVariant(runner, names, profiling);
+        auto ad_stats = runVariant(runner, names,
+                                   attackDecaySpec(scaledAttackDecay()));
         std::vector<ComparisonMetrics> vs_mcd;
         for (std::size_t i = 0; i < names.size(); ++i)
             vs_mcd.push_back(compare(mcd_base[i], ad_stats[i]));

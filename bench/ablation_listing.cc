@@ -50,11 +50,7 @@ main()
                      "EDP improvement", "power/perf ratio"});
     for (const auto &v : variants) {
         std::fprintf(stderr, "  variant: %s\n", v.name);
-        auto stats = runPerBenchmark(
-            runner, names,
-            [&v](Runner &r, const std::string &name) {
-                return r.runAttackDecay(name, v.adc);
-            });
+        auto stats = runVariant(runner, names, attackDecaySpec(v.adc));
         std::vector<ComparisonMetrics> vs_mcd;
         for (std::size_t i = 0; i < names.size(); ++i)
             vs_mcd.push_back(compare(baselines.mcd.at(names[i]),

@@ -51,15 +51,12 @@ main()
         config.jitter = c.jitter;
         Runner runner(config);
 
-        auto sync_stats = runPerBenchmark(
-            runner, names,
-            [&config](Runner &r, const std::string &name) {
-                return r.runSynchronous(name, config.dvfs.freqMax);
-            });
-        auto mcd_stats = runPerBenchmark(
-            runner, names, [](Runner &r, const std::string &name) {
-                return r.runMcdBaseline(name);
-            });
+        auto sync_stats = runVariant(runner, names, ControllerSpec{},
+                                     ClockMode::Synchronous,
+                                     config.dvfs.freqMax);
+        ControllerSpec profiling;
+        profiling.name = "profiling";
+        auto mcd_stats = runVariant(runner, names, profiling);
         std::vector<ComparisonMetrics> vs_sync;
         for (std::size_t i = 0; i < names.size(); ++i)
             vs_sync.push_back(compare(sync_stats[i], mcd_stats[i]));

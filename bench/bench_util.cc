@@ -1,9 +1,8 @@
 #include "bench_util.hh"
 
 #include <cstdio>
-#include <cstdlib>
-#include <sstream>
 
+#include "common/env.hh"
 #include "harness/parallel_sweep.hh"
 #include "workload/benchmark_factory.hh"
 
@@ -33,15 +32,12 @@ scaledAttackDecay()
 std::vector<std::string>
 selectedBenchmarks()
 {
-    const char *env = std::getenv("MCD_BENCHMARKS");
-    if (!env || !*env)
+    // Scenario-aware splitting: a synthetic: instance keeps its
+    // comma-separated knobs, e.g.
+    // MCD_BENCHMARKS="gsm,synthetic:mem=0.8,ilp=4,mcf".
+    auto names = envScenarioList("MCD_BENCHMARKS");
+    if (names.empty())
         return BenchmarkFactory::allNames();
-    std::vector<std::string> names;
-    std::stringstream ss(env);
-    std::string item;
-    while (std::getline(ss, item, ','))
-        if (!item.empty())
-            names.push_back(item);
     return names;
 }
 
@@ -53,6 +49,20 @@ benchmarkConfig(const RunnerConfig &base, std::size_t index)
     return config;
 }
 
+ExperimentSpec
+makeSpec(const RunnerConfig &config, const std::string &bench,
+         const ControllerSpec &controller, ClockMode mode,
+         Hertz startFreq)
+{
+    ExperimentSpec spec;
+    spec.benchmark = bench;
+    spec.mode = mode;
+    spec.startFreq = startFreq;
+    spec.controller = controller;
+    spec.config = config;
+    return spec;
+}
+
 BenchResults
 computeOne(Runner &runner, const std::string &name,
            const ComputeOptions &options)
@@ -60,11 +70,20 @@ computeOne(Runner &runner, const std::string &name,
     BenchResults r;
     r.name = name;
 
+    // The baseline MCD run doubles as the off-line profiling pass, so
+    // it stays a direct Runner call (the cache memoizes SimStats, not
+    // profiles). The synchronous and Attack/Decay runs are plain
+    // cacheable specs.
     std::vector<IntervalProfile> profile;
     r.mcdBase = runner.runMcdBaseline(name, &profile);
-    r.sync = runner.runSynchronous(name,
-                                   runner.config().dvfs.freqMax);
-    r.attackDecay = runner.runAttackDecay(name, scaledAttackDecay());
+
+    ControllerSpec none;
+    r.sync = ResultCache::instance().getOrRun(
+        makeSpec(runner.config(), name, none, ClockMode::Synchronous,
+                 runner.config().dvfs.freqMax));
+    r.attackDecay = ResultCache::instance().getOrRun(
+        makeSpec(runner.config(), name,
+                 attackDecaySpec(scaledAttackDecay())));
 
     if (options.offline) {
         r.dynamic1 = runner.runOfflineDynamic(name, 0.01, r.mcdBase,

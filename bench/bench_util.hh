@@ -1,15 +1,19 @@
 /**
  * @file
  * Shared machinery for the per-table / per-figure bench binaries: a
- * common environment-configurable methodology, and the canonical set of
- * runs (fully synchronous, baseline MCD, Attack/Decay, Dynamic-1%,
- * Dynamic-5%, matched Global DVFS) each experiment draws from.
+ * common environment-configurable methodology, spec builders for the
+ * canonical machine variants, and the canonical result set (fully
+ * synchronous, baseline MCD, Attack/Decay, Dynamic-1%, Dynamic-5%,
+ * matched Global DVFS) each experiment draws from. Cacheable runs go
+ * through the process-wide ResultCache, so a (benchmark, machine)
+ * pair shared by several experiments in one process simulates once.
  *
  * Environment knobs (all optional):
  *   MCD_INSNS       measured instructions per run   (default 250000)
  *   MCD_WARMUP      warm-up instructions            (default 50000)
  *   MCD_INTERVAL    controller interval             (default 1000)
- *   MCD_BENCHMARKS  comma-separated benchmark list  (default: all 30)
+ *   MCD_BENCHMARKS  comma-separated scenario list   (default: all 30;
+ *                   any registered scenario works, incl. synthetic:)
  *   MCD_JOBS        sweep worker threads            (default: all cores)
  */
 
@@ -20,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/experiment.hh"
 #include "harness/runner.hh"
 #include "harness/table.hh"
 
@@ -67,7 +72,7 @@ RunnerConfig standardConfig();
  */
 AttackDecayConfig scaledAttackDecay();
 
-/** Benchmarks selected via MCD_BENCHMARKS, or all 30. */
+/** Scenarios selected via MCD_BENCHMARKS, or the paper's 30. */
 std::vector<std::string> selectedBenchmarks();
 
 /**
@@ -79,6 +84,17 @@ std::vector<std::string> selectedBenchmarks();
  */
 RunnerConfig benchmarkConfig(const RunnerConfig &base,
                              std::size_t index);
+
+/**
+ * The declarative form of one canonical run: `bench` under
+ * `controller` on the machine/methodology of `config`. Synchronous
+ * variants pass ClockMode::Synchronous; startFreq 0 means f_max.
+ */
+ExperimentSpec makeSpec(const RunnerConfig &config,
+                        const std::string &bench,
+                        const ControllerSpec &controller,
+                        ClockMode mode = ClockMode::Mcd,
+                        Hertz startFreq = 0.0);
 
 /** Run the canonical experiment set for one benchmark. */
 BenchResults computeOne(Runner &runner, const std::string &name,

@@ -1,0 +1,366 @@
+/**
+ * @file
+ * The unified experiment CLI over the declarative layer: enumerates
+ * the scenario and controller registries, and runs any ExperimentSpec
+ * — any registered scenario (the paper's 30 applications or a
+ * parametric `synthetic:` instance) under any registered controller —
+ * with human-readable or `--json` machine-readable output.
+ *
+ *   mcd_cli list [--json]
+ *   mcd_cli run --bench <name>[,<name>...]
+ *               [--controller <name>[:<k=v>,...]]
+ *               [--mode mcd|sync] [--freq <hz>] [--seed <n>] [--json]
+ *
+ * The usual environment knobs (MCD_INSNS, MCD_WARMUP, MCD_INTERVAL,
+ * MCD_JOBS) set the methodology. Runs resolve through the process-wide
+ * ResultCache: repeated benchmarks in one invocation simulate once.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/env.hh"
+#include "common/logging.hh"
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+#include "workload/scenario_registry.hh"
+
+using namespace mcd;
+using namespace mcd::bench;
+
+namespace
+{
+
+// ------------------------------------------------------------- JSON
+// A minimal emitter: the output grammar is flat enough that a real
+// JSON library would be all dependency and no benefit.
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonStr(const std::string &s)
+{
+    return "\"" + jsonEscape(s) + "\"";
+}
+
+std::string
+jsonNum(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    // JSON has no infinities or NaNs; the stats never produce them,
+    // but guard anyway.
+    if (std::strchr(buf, 'n') || std::strchr(buf, 'i'))
+        return "null";
+    return buf;
+}
+
+std::string
+jsonU64(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+// ------------------------------------------------------------- list
+
+void
+listRegistries(bool json)
+{
+    ScenarioRegistry &scenarios = ScenarioRegistry::instance();
+    ControllerRegistry &controllers = ControllerRegistry::instance();
+
+    if (json) {
+        std::string out = "{\n  \"scenarios\": [";
+        bool first = true;
+        for (const auto &name : scenarios.scenarioNames()) {
+            out += first ? "\n" : ",\n";
+            first = false;
+            out += "    {\"name\": " + jsonStr(name) + ", \"suite\": " +
+                   jsonStr(scenarios.spec(name).suite) + "}";
+        }
+        out += "\n  ],\n  \"families\": [";
+        first = true;
+        for (const auto &family : scenarios.families()) {
+            out += first ? "\n" : ",\n";
+            first = false;
+            out += "    {\"prefix\": " + jsonStr(family.prefix) +
+                   ", \"description\": " + jsonStr(family.description) +
+                   "}";
+        }
+        out += "\n  ],\n  \"controllers\": [";
+        first = true;
+        for (const auto &info : controllers.list()) {
+            out += first ? "\n" : ",\n";
+            first = false;
+            out += "    {\"name\": " + jsonStr(info.name) +
+                   ", \"description\": " + jsonStr(info.description) +
+                   "}";
+        }
+        out += "\n  ]\n}\n";
+        std::fputs(out.c_str(), stdout);
+        return;
+    }
+
+    TextTable scenario_table("scenarios");
+    scenario_table.setHeader({"name", "suite"});
+    for (const auto &name : scenarios.scenarioNames())
+        scenario_table.addRow({name, scenarios.spec(name).suite});
+    std::printf("%s\n", scenario_table.render().c_str());
+
+    TextTable family_table("scenario families");
+    family_table.setHeader({"prefix", "description"});
+    for (const auto &family : scenarios.families())
+        family_table.addRow({family.prefix, family.description});
+    std::printf("%s\n", family_table.render().c_str());
+
+    TextTable controller_table("controllers");
+    controller_table.setHeader({"name", "description"});
+    for (const auto &info : controllers.list())
+        controller_table.addRow({info.name, info.description});
+    std::printf("%s", controller_table.render().c_str());
+}
+
+// -------------------------------------------------------------- run
+
+std::string
+runJson(const ExperimentSpec &spec, const SimStats &stats)
+{
+    char hash[32];
+    std::snprintf(hash, sizeof(hash), "%016llx",
+                  static_cast<unsigned long long>(spec.hash()));
+
+    std::string params = "{";
+    bool first = true;
+    for (const auto &[key, value] : spec.controller.params) {
+        params += first ? "" : ", ";
+        first = false;
+        params += jsonStr(key) + ": " + jsonNum(value);
+    }
+    params += "}";
+
+    std::string out = "    {\n";
+    out += "      \"benchmark\": " + jsonStr(spec.benchmark) + ",\n";
+    out += "      \"mode\": " +
+           jsonStr(spec.mode == ClockMode::Mcd ? "mcd" : "sync") +
+           ",\n";
+    out += "      \"controller\": " + jsonStr(spec.controller.name) +
+           ",\n";
+    out += "      \"params\": " + params + ",\n";
+    out += "      \"start_freq_hz\": " +
+           jsonNum(spec.resolvedStartFreq()) + ",\n";
+    out += "      \"instructions\": " +
+           jsonU64(spec.config.instructions) + ",\n";
+    out += "      \"warmup\": " + jsonU64(spec.config.warmup) + ",\n";
+    out += "      \"interval\": " +
+           std::to_string(spec.config.intervalInstructions) + ",\n";
+    out += "      \"clock_seed\": " + jsonU64(spec.config.clockSeed) +
+           ",\n";
+    out += "      \"spec_hash\": " + jsonStr(hash) + ",\n";
+    out += "      \"stats\": {\n";
+    out += "        \"instructions\": " + jsonU64(stats.instructions) +
+           ",\n";
+    out += "        \"fe_cycles\": " + jsonU64(stats.feCycles) + ",\n";
+    out += "        \"time_ps\": " +
+           jsonU64(static_cast<std::uint64_t>(stats.time)) + ",\n";
+    out += "        \"chip_energy_nj\": " + jsonNum(stats.chipEnergy) +
+           ",\n";
+    out += "        \"cpi\": " + jsonNum(stats.cpi) + ",\n";
+    out += "        \"epi_nj\": " + jsonNum(stats.epi) + ",\n";
+    out += "        \"branches\": " + jsonU64(stats.branches) + ",\n";
+    out += "        \"mispredicts\": " + jsonU64(stats.mispredicts) +
+           ",\n";
+    out += "        \"loads\": " + jsonU64(stats.loads) + ",\n";
+    out += "        \"stores\": " + jsonU64(stats.stores) + ",\n";
+    out += "        \"l1d_misses\": " + jsonU64(stats.l1dMisses) +
+           ",\n";
+    out += "        \"l2_misses\": " + jsonU64(stats.l2Misses) + "\n";
+    out += "      }\n    }";
+    return out;
+}
+
+int
+runExperimentsCli(const std::vector<std::string> &benches,
+                  const ControllerSpec &controller, ClockMode mode,
+                  Hertz freq, std::uint64_t seed, bool have_seed,
+                  bool json)
+{
+    RunnerConfig config = standardConfig();
+    if (have_seed)
+        config.clockSeed = seed;
+
+    std::vector<ExperimentSpec> specs;
+    for (const auto &bench : benches) {
+        if (!ScenarioRegistry::instance().contains(bench))
+            mcd_fatal("unknown scenario '%s' (try: mcd_cli list)",
+                      bench.c_str());
+        specs.push_back(makeSpec(config, bench, controller, mode,
+                                 freq));
+    }
+
+    auto results = runExperiments(specs, config.jobs);
+    ResultCache &cache = ResultCache::instance();
+
+    if (json) {
+        std::string out = "{\n  \"experiments\": [\n";
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            out += runJson(specs[i], results[i]);
+            out += i + 1 < specs.size() ? ",\n" : "\n";
+        }
+        out += "  ],\n  \"cache\": {\"lookups\": " +
+               jsonU64(cache.lookups()) +
+               ", \"hits\": " + jsonU64(cache.hits()) +
+               ", \"simulations\": " + jsonU64(cache.simulationsRun()) +
+               "}\n}\n";
+        std::fputs(out.c_str(), stdout);
+        return 0;
+    }
+
+    printMethodology(config);
+    TextTable table("results");
+    table.setHeader({"benchmark", "controller", "mode", "time (ps)",
+                     "energy (nJ)", "CPI", "EPI (nJ)"});
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        table.addRow({specs[i].benchmark, controller.name,
+                      mode == ClockMode::Mcd ? "mcd" : "sync",
+                      std::to_string(results[i].time),
+                      num(results[i].chipEnergy, 1),
+                      num(results[i].cpi, 3), num(results[i].epi, 3)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\ncache: %llu lookups, %llu hits, %llu simulations\n",
+                static_cast<unsigned long long>(cache.lookups()),
+                static_cast<unsigned long long>(cache.hits()),
+                static_cast<unsigned long long>(
+                    cache.simulationsRun()));
+    return 0;
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage:\n"
+        "  mcd_cli list [--json]            enumerate scenarios, "
+        "scenario\n"
+        "                                   families and controllers\n"
+        "  mcd_cli run --bench <name>[,<name>...]\n"
+        "              [--controller <name>[:<k=v>,...]]\n"
+        "              [--mode mcd|sync] [--freq <hz>] [--seed <n>]\n"
+        "              [--json]             run experiments\n"
+        "\n"
+        "examples:\n"
+        "  mcd_cli list\n"
+        "  mcd_cli run --bench gsm --controller "
+        "attack_decay:decay=0.0125,perf_deg_threshold=0.015 --json\n"
+        "  mcd_cli run --bench synthetic:mem=0.8,ilp=4,phases=6\n"
+        "\n"
+        "environment: MCD_INSNS, MCD_WARMUP, MCD_INTERVAL, MCD_JOBS\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty()) {
+        usage();
+        return 2;
+    }
+
+    bool json = false;
+    bool do_list = false;
+    bool do_run = false;
+    std::vector<std::string> benches;
+    ControllerSpec controller; // "none"
+    ClockMode mode = ClockMode::Mcd;
+    Hertz freq = 0.0;
+    std::uint64_t seed = 0;
+    bool have_seed = false;
+
+    auto value = [&](std::size_t &i) -> std::string {
+        if (i + 1 >= args.size())
+            mcd_fatal("option '%s' needs a value", args[i].c_str());
+        return args[++i];
+    };
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "list" || arg == "--list") {
+            do_list = true;
+        } else if (arg == "run") {
+            do_run = true;
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--bench") {
+            // Scenario-aware splitting: a family name keeps its own
+            // comma-separated knobs, so
+            // "gsm,synthetic:mem=0.8,ilp=4,mcf" is three scenarios.
+            for (const auto &name : splitScenarioList(value(i)))
+                benches.push_back(name);
+        } else if (arg == "--controller") {
+            controller = parseControllerSpec(value(i));
+        } else if (arg == "--mode") {
+            std::string v = value(i);
+            if (v == "mcd")
+                mode = ClockMode::Mcd;
+            else if (v == "sync")
+                mode = ClockMode::Synchronous;
+            else
+                mcd_fatal("--mode must be 'mcd' or 'sync', not '%s'",
+                          v.c_str());
+        } else if (arg == "--freq") {
+            freq = std::strtod(value(i).c_str(), nullptr);
+            if (freq <= 0.0)
+                mcd_fatal("--freq needs a positive frequency in Hz");
+        } else if (arg == "--seed") {
+            seed = std::strtoull(value(i).c_str(), nullptr, 10);
+            have_seed = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            usage();
+            mcd_fatal("unknown argument '%s'", arg.c_str());
+        }
+    }
+
+    if (do_list)
+        listRegistries(json);
+    if (do_run) {
+        if (benches.empty())
+            mcd_fatal("run needs --bench <name>[,<name>...]");
+        return runExperimentsCli(benches, controller, mode, freq, seed,
+                                 have_seed, json);
+    }
+    if (!do_list && !do_run) {
+        usage();
+        return 2;
+    }
+    return 0;
+}

@@ -19,38 +19,49 @@ sweepBenchmarks()
             "power", "art", "bzip2", "gcc", "mcf", "swim"};
 }
 
-std::vector<SimStats>
-runPerBenchmark(
-    const Runner &runner, const std::vector<std::string> &names,
-    const std::function<SimStats(Runner &, const std::string &)>
-        &measure)
+std::vector<ExperimentSpec>
+seedMatchedSpecs(const RunnerConfig &base,
+                 const std::vector<std::string> &names,
+                 const ControllerSpec &controller, ClockMode mode,
+                 Hertz startFreq)
 {
-    ParallelSweep sweep(runner.config().jobs);
-    return sweep.map<SimStats>(names.size(), [&](std::size_t i) {
-        Runner local(benchmarkConfig(runner.config(), i));
-        return measure(local, names[i]);
-    });
+    std::vector<ExperimentSpec> specs;
+    specs.reserve(names.size());
+    for (std::size_t i = 0; i < names.size(); ++i)
+        specs.push_back(makeSpec(benchmarkConfig(base, i), names[i],
+                                 controller, mode, startFreq));
+    return specs;
+}
+
+std::vector<SimStats>
+runVariant(const Runner &runner, const std::vector<std::string> &names,
+           const ControllerSpec &controller, ClockMode mode,
+           Hertz startFreq)
+{
+    return runExperiments(
+        seedMatchedSpecs(runner.config(), names, controller, mode,
+                         startFreq),
+        runner.config().jobs);
 }
 
 SweepBaselines
 computeBaselines(Runner &runner, const std::vector<std::string> &names)
 {
     // Both baseline batches derive benchmark i's seed from i
-    // (benchmarkConfig), exactly like the Attack/Decay batches of
-    // every sweep point, so each comparison consumes one clock stream
-    // end to end.
+    // (benchmarkConfig), exactly like the variant batches of every
+    // sweep point, so each comparison consumes one clock stream end to
+    // end. The cache makes re-requesting these baselines — by a later
+    // sweep, or by another figure's worth of experiments in the same
+    // process — free.
     std::fprintf(stderr, "  running %zu baselines on %d workers ...",
                  2 * names.size(),
                  ParallelSweep(runner.config().jobs).workers());
     std::fflush(stderr);
-    auto mcd = runPerBenchmark(
-        runner, names, [](Runner &r, const std::string &name) {
-            return r.runMcdBaseline(name);
-        });
-    auto sync = runPerBenchmark(
-        runner, names, [](Runner &r, const std::string &name) {
-            return r.runSynchronous(name, r.config().dvfs.freqMax);
-        });
+    ControllerSpec profiling;
+    profiling.name = "profiling";
+    auto mcd = runVariant(runner, names, profiling);
+    auto sync = runVariant(runner, names, ControllerSpec{},
+                           ClockMode::Synchronous);
     std::fprintf(stderr, " done\n");
 
     SweepBaselines baselines;
@@ -66,10 +77,8 @@ runSweepPoint(Runner &runner, const std::vector<std::string> &names,
               const SweepBaselines &baselines,
               const AttackDecayConfig &adc, double parameter)
 {
-    auto results = runPerBenchmark(
-        runner, names, [&adc](Runner &r, const std::string &name) {
-            return r.runAttackDecay(name, adc);
-        });
+    auto results =
+        runVariant(runner, names, attackDecaySpec(adc));
 
     // Aggregate strictly in benchmark order on the collected batch, so
     // the floating-point sums never depend on completion order.

@@ -1,18 +1,19 @@
 /**
  * @file
- * Shared machinery for the sensitivity-sweep benches (Figures 5, 6, 7):
- * per-sweep-point Attack/Decay runs over a representative benchmark
- * subset, with cached baseline runs. Runs fan out across the
- * ParallelSweep workers (MCD_JOBS); per-benchmark seeds are derived
- * from the benchmark's index, shared between each baseline and every
- * sweep point, so comparisons stay seed-matched and aggregates are
+ * Shared machinery for the sensitivity-sweep benches (Figures 5, 6, 7)
+ * and the ablations: seed-matched, spec-driven batches over a
+ * representative benchmark subset. Each batch is a vector of
+ * ExperimentSpecs — one controller spec applied to every benchmark,
+ * with per-benchmark clock seeds derived from the benchmark's index —
+ * executed on the ParallelSweep workers (MCD_JOBS) through the
+ * process-wide ResultCache. Baselines and any sweep points that
+ * coincide therefore simulate once per process, and aggregates are
  * bit-identical for any worker count.
  */
 
 #ifndef MCD_BENCH_SWEEP_UTIL_HH
 #define MCD_BENCH_SWEEP_UTIL_HH
 
-#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -27,16 +28,26 @@ namespace mcd::bench
 std::vector<std::string> sweepBenchmarks();
 
 /**
- * Run one measurement per benchmark on seed-matched per-benchmark
- * Runners (benchmarkConfig), fanned across the ParallelSweep workers.
- * `measure` executes concurrently: it must only touch its own locals
- * and the (shared, read-only) captures. Results come back in `names`
+ * One spec per benchmark: `controller` on the machine of
+ * benchmarkConfig(base, i), so batch results over the same `names`
+ * list stay seed-matched across variants.
+ */
+std::vector<ExperimentSpec>
+seedMatchedSpecs(const RunnerConfig &base,
+                 const std::vector<std::string> &names,
+                 const ControllerSpec &controller,
+                 ClockMode mode = ClockMode::Mcd, Hertz startFreq = 0.0);
+
+/**
+ * Run one controller variant over every benchmark on seed-matched
+ * per-benchmark machines, fanned across the ParallelSweep workers and
+ * resolved through the ResultCache. Results come back in `names`
  * order, bit-identical for any worker count.
  */
-std::vector<SimStats> runPerBenchmark(
-    const Runner &runner, const std::vector<std::string> &names,
-    const std::function<SimStats(Runner &, const std::string &)>
-        &measure);
+std::vector<SimStats>
+runVariant(const Runner &runner, const std::vector<std::string> &names,
+           const ControllerSpec &controller,
+           ClockMode mode = ClockMode::Mcd, Hertz startFreq = 0.0);
 
 /** Cached per-benchmark baselines reused across sweep points. */
 struct SweepBaselines

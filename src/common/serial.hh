@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Exact byte serialization for cache keys plus the FNV-1a string
+ * hash. ControllerSpec::appendTo and ExperimentSpec::cacheKey()
+ * jointly build one key from these helpers, so there must be exactly
+ * one definition of the byte layout: equal serializations are the
+ * cache's proof of bit-identical runs (doubles are appended as raw
+ * IEEE-754 bits, strings length-prefixed, so no two distinct values
+ * ever collide).
+ */
+
+#ifndef MCD_COMMON_SERIAL_HH
+#define MCD_COMMON_SERIAL_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace mcd::serial
+{
+
+inline void
+appendU64(std::string &out, std::uint64_t v)
+{
+    out.append(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+inline void
+appendI64(std::string &out, std::int64_t v)
+{
+    appendU64(out, static_cast<std::uint64_t>(v));
+}
+
+inline void
+appendDouble(std::string &out, double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    appendU64(out, bits);
+}
+
+inline void
+appendString(std::string &out, const std::string &s)
+{
+    appendU64(out, s.size());
+    out += s;
+}
+
+/** FNV-1a: a build-independent deterministic string hash. */
+inline std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+} // namespace mcd::serial
+
+#endif // MCD_COMMON_SERIAL_HH

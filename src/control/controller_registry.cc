@@ -1,0 +1,251 @@
+#include "control/controller_registry.hh"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/logging.hh"
+#include "common/serial.hh"
+
+namespace mcd
+{
+
+namespace
+{
+
+using serial::appendDouble;
+using serial::appendString;
+using serial::appendU64;
+
+std::mutex registry_mutex;
+
+double
+paramOr(const ControllerSpec &spec, const char *key, double fallback)
+{
+    auto it = spec.params.find(key);
+    return it == spec.params.end() ? fallback : it->second;
+}
+
+const std::vector<std::string> attack_decay_keys = {
+    "deviation_threshold", "reaction_change", "decay",
+    "perf_deg_threshold", "endstop_count", "literal_guard",
+};
+
+void
+registerBuiltins(ControllerRegistry &registry)
+{
+    registry.add(
+        "none",
+        "uncontrolled: all domains stay at the start frequency",
+        [](const ControllerSpec &spec)
+            -> std::unique_ptr<FrequencyController> {
+            ControllerRegistry::checkParams(spec, {});
+            return nullptr;
+        });
+
+    registry.add(
+        "constant",
+        "all controlled domains pinned to `freq` (Hz)",
+        [](const ControllerSpec &spec)
+            -> std::unique_ptr<FrequencyController> {
+            ControllerRegistry::checkParams(spec, {"freq"});
+            auto it = spec.params.find("freq");
+            if (it == spec.params.end())
+                mcd_fatal("controller 'constant' requires a 'freq' "
+                          "parameter (Hz)");
+            return std::make_unique<ConstantController>(it->second);
+        });
+
+    registry.add(
+        "profiling",
+        "domains at maximum; records the off-line per-interval profile",
+        [](const ControllerSpec &spec)
+            -> std::unique_ptr<FrequencyController> {
+            ControllerRegistry::checkParams(spec, {});
+            return std::make_unique<ProfilingController>();
+        });
+
+    registry.add(
+        "schedule",
+        "replays the spec's precomputed per-interval schedule",
+        [](const ControllerSpec &spec)
+            -> std::unique_ptr<FrequencyController> {
+            ControllerRegistry::checkParams(spec, {});
+            return std::make_unique<ScheduleController>(spec.schedule);
+        });
+
+    registry.add(
+        "attack_decay",
+        "the paper's Listing 1 on-line controller (Section 3.1)",
+        [](const ControllerSpec &spec)
+            -> std::unique_ptr<FrequencyController> {
+            ControllerRegistry::checkParams(spec, attack_decay_keys);
+            return std::make_unique<AttackDecayController>(
+                attackDecayConfigFromSpec(spec));
+        });
+
+    registry.add(
+        "frontend_attack_decay",
+        "Attack/Decay extended to the front end (Section 7 future work)",
+        [](const ControllerSpec &spec)
+            -> std::unique_ptr<FrequencyController> {
+            ControllerRegistry::checkParams(spec, attack_decay_keys);
+            return std::make_unique<FrontEndAttackDecayController>(
+                attackDecayConfigFromSpec(spec));
+        });
+}
+
+} // namespace
+
+void
+ControllerSpec::appendTo(std::string &out) const
+{
+    appendString(out, name);
+    appendU64(out, params.size());
+    for (const auto &[key, value] : params) {
+        appendString(out, key);
+        appendDouble(out, value);
+    }
+    appendU64(out, schedule.size());
+    for (const FrequencyVector &freqs : schedule)
+        for (Hertz f : freqs)
+            appendDouble(out, f);
+}
+
+ControllerSpec
+parseControllerSpec(const std::string &text)
+{
+    ControllerSpec spec;
+    auto colon = text.find(':');
+    spec.name = text.substr(0, colon);
+    if (spec.name.empty())
+        mcd_fatal("empty controller name in '%s'", text.c_str());
+    if (colon == std::string::npos)
+        return spec;
+
+    std::string rest = text.substr(colon + 1);
+    std::size_t pos = 0;
+    while (pos < rest.size()) {
+        auto comma = rest.find(',', pos);
+        std::string item = rest.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        pos = comma == std::string::npos ? rest.size() : comma + 1;
+        if (item.empty())
+            continue;
+        auto eq = item.find('=');
+        if (eq == std::string::npos || eq == 0)
+            mcd_fatal("controller parameter '%s' is not key=value",
+                      item.c_str());
+        std::string key = item.substr(0, eq);
+        std::string value = item.substr(eq + 1);
+        char *end = nullptr;
+        double v = std::strtod(value.c_str(), &end);
+        if (value.empty() || end != value.c_str() + value.size())
+            mcd_fatal("controller parameter '%s': '%s' is not a number",
+                      key.c_str(), value.c_str());
+        spec.params[key] = v;
+    }
+    return spec;
+}
+
+ControllerSpec
+attackDecaySpec(const AttackDecayConfig &config, const std::string &name)
+{
+    ControllerSpec spec;
+    spec.name = name;
+    spec.params["deviation_threshold"] = config.deviationThreshold;
+    spec.params["reaction_change"] = config.reactionChange;
+    spec.params["decay"] = config.decay;
+    spec.params["perf_deg_threshold"] = config.perfDegThreshold;
+    spec.params["endstop_count"] = config.endstopCount;
+    spec.params["literal_guard"] = config.literalListingGuard ? 1.0 : 0.0;
+    return spec;
+}
+
+AttackDecayConfig
+attackDecayConfigFromSpec(const ControllerSpec &spec)
+{
+    AttackDecayConfig config;
+    config.deviationThreshold =
+        paramOr(spec, "deviation_threshold", config.deviationThreshold);
+    config.reactionChange =
+        paramOr(spec, "reaction_change", config.reactionChange);
+    config.decay = paramOr(spec, "decay", config.decay);
+    config.perfDegThreshold =
+        paramOr(spec, "perf_deg_threshold", config.perfDegThreshold);
+    config.endstopCount = static_cast<int>(
+        paramOr(spec, "endstop_count", config.endstopCount));
+    config.literalListingGuard =
+        paramOr(spec, "literal_guard",
+                config.literalListingGuard ? 1.0 : 0.0) != 0.0;
+    return config;
+}
+
+ControllerRegistry &
+ControllerRegistry::instance()
+{
+    static ControllerRegistry *registry = [] {
+        auto *r = new ControllerRegistry();
+        registerBuiltins(*r);
+        return r;
+    }();
+    return *registry;
+}
+
+void
+ControllerRegistry::add(const std::string &name,
+                        const std::string &description, Factory factory)
+{
+    std::lock_guard<std::mutex> lock(registry_mutex);
+    if (factories_.count(name))
+        mcd_fatal("controller '%s' registered twice", name.c_str());
+    infos_[name] = Info{name, description};
+    factories_[name] = std::move(factory);
+}
+
+bool
+ControllerRegistry::contains(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(registry_mutex);
+    return factories_.count(name) > 0;
+}
+
+std::unique_ptr<FrequencyController>
+ControllerRegistry::create(const ControllerSpec &spec) const
+{
+    Factory factory;
+    {
+        std::lock_guard<std::mutex> lock(registry_mutex);
+        auto it = factories_.find(spec.name);
+        if (it == factories_.end())
+            mcd_fatal("unknown controller '%s' (mcd_cli list shows "
+                      "registered names)", spec.name.c_str());
+        factory = it->second;
+    }
+    return factory(spec);
+}
+
+std::vector<ControllerRegistry::Info>
+ControllerRegistry::list() const
+{
+    std::lock_guard<std::mutex> lock(registry_mutex);
+    std::vector<Info> infos;
+    for (const auto &[name, info] : infos_)
+        infos.push_back(info);
+    return infos;
+}
+
+void
+ControllerRegistry::checkParams(const ControllerSpec &spec,
+                                const std::vector<std::string> &allowed)
+{
+    for (const auto &[key, value] : spec.params) {
+        (void)value;
+        if (std::find(allowed.begin(), allowed.end(), key) ==
+            allowed.end())
+            mcd_fatal("controller '%s' has no parameter '%s'",
+                      spec.name.c_str(), key.c_str());
+    }
+}
+
+} // namespace mcd

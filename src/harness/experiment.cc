@@ -1,0 +1,209 @@
+#include "harness/experiment.hh"
+
+#include "common/serial.hh"
+#include "harness/parallel_sweep.hh"
+
+namespace mcd
+{
+
+namespace
+{
+
+using serial::appendDouble;
+using serial::appendI64;
+using serial::appendString;
+using serial::appendU64;
+
+void
+appendCacheConfig(std::string &out, const CacheConfig &c)
+{
+    appendString(out, c.name);
+    appendU64(out, c.sizeBytes);
+    appendI64(out, c.associativity);
+    appendI64(out, c.lineBytes);
+}
+
+void
+appendMemoryConfig(std::string &out, const MemoryHierarchyConfig &m)
+{
+    appendCacheConfig(out, m.l1i);
+    appendCacheConfig(out, m.l1d);
+    appendCacheConfig(out, m.l2);
+    appendI64(out, static_cast<std::int64_t>(m.memory.accessLatency));
+    appendI64(out,
+              static_cast<std::int64_t>(m.memory.channelOccupancy));
+    appendI64(out, m.l1Latency);
+    appendI64(out, m.l2Latency);
+}
+
+void
+appendCoreConfig(std::string &out, const CoreConfig &c)
+{
+    appendI64(out, c.decodeWidth);
+    appendI64(out, c.intIssueWidth);
+    appendI64(out, c.fpIssueWidth);
+    appendI64(out, c.memIssueWidth);
+    appendI64(out, c.retireWidth);
+    appendI64(out, c.robSize);
+    appendI64(out, c.intIqSize);
+    appendI64(out, c.fpIqSize);
+    appendI64(out, c.lsqSize);
+    appendI64(out, c.intPhysRegs);
+    appendI64(out, c.fpPhysRegs);
+    appendI64(out, c.branchMispredictPenalty);
+    appendI64(out, c.intAluCount);
+    appendI64(out, c.fpAluCount);
+    appendI64(out, c.intAluLatency);
+    appendI64(out, c.intMultLatency);
+    appendI64(out, c.intDivLatency);
+    appendI64(out, c.fpAddLatency);
+    appendI64(out, c.fpMultLatency);
+    appendI64(out, c.fpDivLatency);
+    appendI64(out, c.fpSqrtLatency);
+    appendI64(out, c.mshrCount);
+    appendMemoryConfig(out, c.memory);
+    appendI64(out, c.intervalInstructions);
+}
+
+void
+appendDvfsConfig(std::string &out, const DvfsConfig &d)
+{
+    appendDouble(out, d.freqMax);
+    appendDouble(out, d.freqMin);
+    appendDouble(out, d.voltMax);
+    appendDouble(out, d.voltMin);
+    appendI64(out, d.numPoints);
+    appendDouble(out, d.slewNsPerMhz);
+    appendDouble(out, d.jitterSigmaPs);
+    appendDouble(out, d.syncWindowFraction);
+}
+
+void
+appendEnergyConfig(std::string &out, const EnergyConfig &e)
+{
+    appendDouble(out, e.referenceVoltage);
+    appendDouble(out, e.idleFraction);
+    appendDouble(out, e.mcdClockOverhead);
+    appendDouble(out, e.mainMemoryAccess);
+}
+
+} // namespace
+
+std::string
+ExperimentSpec::cacheKey() const
+{
+    std::string key;
+    key.reserve(512 + controller.schedule.size() *
+                          sizeof(FrequencyVector));
+    appendString(key, benchmark);
+    appendI64(key, static_cast<std::int64_t>(mode));
+    appendDouble(key, resolvedStartFreq());
+    controller.appendTo(key);
+    // Methodology. `config.jobs` is intentionally omitted: the
+    // determinism contract makes results worker-count independent.
+    appendU64(key, config.instructions);
+    appendU64(key, config.warmup);
+    appendU64(key, config.clockSeed);
+    appendI64(key, config.jitter ? 1 : 0);
+    appendI64(key, config.intervalInstructions);
+    appendCoreConfig(key, config.core);
+    appendDvfsConfig(key, config.dvfs);
+    appendEnergyConfig(key, config.energy);
+    return key;
+}
+
+std::uint64_t
+ExperimentSpec::hash() const
+{
+    return serial::fnv1a(cacheKey());
+}
+
+SimStats
+runExperiment(const ExperimentSpec &spec)
+{
+    auto controller = ControllerRegistry::instance().create(
+        spec.controller);
+    Runner runner(spec.config);
+    return runner.runWithOptionalController(
+        spec.benchmark, spec.mode, spec.resolvedStartFreq(),
+        controller.get());
+}
+
+std::vector<SimStats>
+runExperiments(const std::vector<ExperimentSpec> &specs, int jobs)
+{
+    ParallelSweep sweep(jobs);
+    return sweep.map<SimStats>(specs.size(), [&](std::size_t i) {
+        return ResultCache::instance().getOrRun(specs[i]);
+    });
+}
+
+ResultCache &
+ResultCache::instance()
+{
+    static ResultCache *cache = new ResultCache();
+    return *cache;
+}
+
+SimStats
+ResultCache::getOrRun(const ExperimentSpec &spec)
+{
+    std::string key = spec.cacheKey();
+    std::shared_ptr<Entry> entry;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++lookups_;
+        auto &slot = entries_[key];
+        if (!slot)
+            slot = std::make_shared<Entry>();
+        entry = slot;
+    }
+    // Concurrent requests for one key block here while the first
+    // caller simulates; the simulation never runs under the map lock,
+    // so distinct specs still fan out in parallel.
+    std::call_once(entry->once, [&] {
+        entry->stats = runExperiment(spec);
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++runs_;
+    });
+    return entry->stats;
+}
+
+std::uint64_t
+ResultCache::lookups() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lookups_;
+}
+
+std::uint64_t
+ResultCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lookups_ - runs_;
+}
+
+std::uint64_t
+ResultCache::simulationsRun() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return runs_;
+}
+
+std::size_t
+ResultCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+void
+ResultCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    lookups_ = 0;
+    runs_ = 0;
+}
+
+} // namespace mcd

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The declarative experiment layer. An `ExperimentSpec` fully
+ * describes one simulation — scenario name, clock mode, controller
+ * spec, methodology (window, seeds, machine configuration) — and the
+ * layer executes batches of specs on `ParallelSweep` through a
+ * process-wide, spec-keyed `ResultCache`, so a (benchmark, machine)
+ * pair that several figures, sweep points, or search probes share
+ * simulates exactly once per process.
+ *
+ * The cache key is an exact serialization of every field that can
+ * influence the simulation (raw IEEE-754 bytes for doubles, length-
+ * prefixed strings); equal keys therefore imply bit-identical runs,
+ * and returning the memoized `SimStats` is indistinguishable from
+ * re-simulating. `RunnerConfig::jobs` is deliberately excluded — the
+ * determinism contract makes results independent of worker count.
+ */
+
+#ifndef MCD_HARNESS_EXPERIMENT_HH
+#define MCD_HARNESS_EXPERIMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "control/controller_registry.hh"
+#include "harness/runner.hh"
+
+namespace mcd
+{
+
+/** Everything needed to run (or memoize) one simulation. */
+struct ExperimentSpec
+{
+    std::string benchmark;          //!< any registered scenario name
+    ClockMode mode = ClockMode::Mcd;
+    Hertz startFreq = 0.0;          //!< 0 selects config.dvfs.freqMax
+    ControllerSpec controller;       //!< default: "none" (uncontrolled)
+    RunnerConfig config;             //!< methodology + machine
+
+    /** The frequency the machine actually starts at. */
+    Hertz resolvedStartFreq() const
+    {
+        return startFreq > 0.0 ? startFreq : config.dvfs.freqMax;
+    }
+
+    /** Exact, collision-free ResultCache key. */
+    std::string cacheKey() const;
+
+    /** Short display hash of the cache key (FNV-1a, for --json). */
+    std::uint64_t hash() const;
+};
+
+/** Run one spec directly, bypassing the cache. */
+SimStats runExperiment(const ExperimentSpec &spec);
+
+/**
+ * Run a batch of specs fanned across ParallelSweep workers (`jobs` as
+ * in RunnerConfig::jobs: 0 = default workers, 1 = serial), each
+ * resolved through the process-wide ResultCache. Results are in spec
+ * order and bit-identical for any worker count; duplicate specs —
+ * within the batch or against anything cached earlier in the process —
+ * simulate only once.
+ */
+std::vector<SimStats>
+runExperiments(const std::vector<ExperimentSpec> &specs, int jobs = 0);
+
+/**
+ * Process-wide SimStats memo, keyed by ExperimentSpec::cacheKey().
+ * Thread-safe; concurrent requests for the same key run the
+ * simulation once and share the result. `simulationsRun()` is the
+ * process-wide run counter: it counts actual simulations, so
+ * `lookups() - simulationsRun()` baselines/probes were served from
+ * the cache instead of being re-simulated.
+ */
+class ResultCache
+{
+  public:
+    static ResultCache &instance();
+
+    /** The memoized stats for `spec`, simulating on first request. */
+    SimStats getOrRun(const ExperimentSpec &spec);
+
+    /** Total getOrRun calls. */
+    std::uint64_t lookups() const;
+
+    /** Cache hits (lookups served without simulating). */
+    std::uint64_t hits() const;
+
+    /** Actual simulations executed — the run counter. */
+    std::uint64_t simulationsRun() const;
+
+    /** Distinct specs cached. */
+    std::size_t size() const;
+
+    /** Drop all entries and zero the counters (tests). */
+    void clear();
+
+  private:
+    ResultCache() = default;
+
+    struct Entry
+    {
+        std::once_flag once;
+        SimStats stats{};
+    };
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, std::shared_ptr<Entry>> entries_;
+    std::uint64_t lookups_ = 0;
+    std::uint64_t runs_ = 0;
+};
+
+} // namespace mcd
+
+#endif // MCD_HARNESS_EXPERIMENT_HH

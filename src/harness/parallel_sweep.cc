@@ -5,6 +5,7 @@
 #include <exception>
 #include <thread>
 
+#include "common/env.hh"
 #include "common/thread_pool.hh"
 
 namespace mcd
@@ -30,11 +31,9 @@ ParallelSweep::ParallelSweep(int workers)
 int
 ParallelSweep::defaultWorkers()
 {
-    if (const char *s = std::getenv("MCD_JOBS")) {
-        long long v = std::atoll(s);
-        if (v > 0)
-            return static_cast<int>(v);
-    }
+    int jobs = envInt("MCD_JOBS", 0);
+    if (jobs > 0)
+        return jobs;
     unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? static_cast<int>(hw) : 1;
 }

@@ -5,7 +5,9 @@
 #include <cstdlib>
 #include <iterator>
 
+#include "common/env.hh"
 #include "common/logging.hh"
+#include "harness/experiment.hh"
 #include "harness/parallel_sweep.hh"
 
 namespace mcd
@@ -14,26 +16,10 @@ namespace mcd
 void
 RunnerConfig::applyEnvOverrides()
 {
-    if (const char *s = std::getenv("MCD_INSNS")) {
-        long long v = std::atoll(s);
-        if (v > 0)
-            instructions = static_cast<std::uint64_t>(v);
-    }
-    if (const char *s = std::getenv("MCD_WARMUP")) {
-        long long v = std::atoll(s);
-        if (v >= 0)
-            warmup = static_cast<std::uint64_t>(v);
-    }
-    if (const char *s = std::getenv("MCD_INTERVAL")) {
-        long long v = std::atoll(s);
-        if (v > 0)
-            intervalInstructions = static_cast<int>(v);
-    }
-    if (const char *s = std::getenv("MCD_JOBS")) {
-        long long v = std::atoll(s);
-        if (v > 0)
-            jobs = static_cast<int>(v);
-    }
+    instructions = envU64("MCD_INSNS", instructions);
+    warmup = envU64("MCD_WARMUP", warmup, /*min=*/0);
+    intervalInstructions = envInt("MCD_INTERVAL", intervalInstructions);
+    jobs = envInt("MCD_JOBS", jobs);
 }
 
 Runner::Runner(const RunnerConfig &config)
@@ -42,9 +28,10 @@ Runner::Runner(const RunnerConfig &config)
 }
 
 SimStats
-Runner::runOnce(const std::string &bench, ClockMode mode,
-                Hertz start_freq, FrequencyController *controller,
-                std::function<void(const IntervalStats &)> observer)
+Runner::runWithOptionalController(
+    const std::string &bench, ClockMode mode, Hertz start_freq,
+    FrequencyController *controller,
+    std::function<void(const IntervalStats &)> observer)
 {
     auto workload = BenchmarkFactory::create(bench, horizon());
 
@@ -73,18 +60,25 @@ Runner::runOnce(const std::string &bench, ClockMode mode,
 SimStats
 Runner::runSynchronous(const std::string &bench, Hertz freq)
 {
-    return runOnce(bench, ClockMode::Synchronous, freq, nullptr, {});
+    auto controller = ControllerRegistry::instance().create(
+        ControllerSpec{}); // "none": uncontrolled
+    return runWithOptionalController(bench, ClockMode::Synchronous,
+                                     freq, controller.get(), {});
 }
 
 SimStats
 Runner::runMcdBaseline(const std::string &bench,
                        std::vector<IntervalProfile> *profile)
 {
-    ProfilingController profiler;
-    SimStats stats = runOnce(bench, ClockMode::Mcd,
-                             config_.dvfs.freqMax, &profiler, {});
+    ControllerSpec spec;
+    spec.name = "profiling";
+    auto controller = ControllerRegistry::instance().create(spec);
+    SimStats stats = runWithOptionalController(
+        bench, ClockMode::Mcd, config_.dvfs.freqMax, controller.get(),
+        {});
     if (profile)
-        *profile = profiler.profile();
+        *profile =
+            dynamic_cast<ProfilingController &>(*controller).profile();
     return stats;
 }
 
@@ -93,18 +87,25 @@ Runner::runAttackDecay(
     const std::string &bench, const AttackDecayConfig &adc,
     std::function<void(const IntervalStats &)> observer)
 {
-    AttackDecayController controller(adc);
-    return runOnce(bench, ClockMode::Mcd, config_.dvfs.freqMax,
-                   &controller, std::move(observer));
+    auto controller =
+        ControllerRegistry::instance().create(attackDecaySpec(adc));
+    return runWithOptionalController(bench, ClockMode::Mcd,
+                                     config_.dvfs.freqMax,
+                                     controller.get(),
+                                     std::move(observer));
 }
 
 SimStats
 Runner::runSchedule(const std::string &bench,
                     const std::vector<FrequencyVector> &schedule)
 {
-    ScheduleController controller(schedule);
-    return runOnce(bench, ClockMode::Mcd, config_.dvfs.freqMax,
-                   &controller, {});
+    ControllerSpec spec;
+    spec.name = "schedule";
+    spec.schedule = schedule;
+    auto controller = ControllerRegistry::instance().create(spec);
+    return runWithOptionalController(bench, ClockMode::Mcd,
+                                     config_.dvfs.freqMax,
+                                     controller.get(), {});
 }
 
 SimStats
@@ -113,8 +114,8 @@ Runner::runWithController(
     FrequencyController &controller,
     std::function<void(const IntervalStats &)> observer)
 {
-    return runOnce(bench, mode, start_freq, &controller,
-                   std::move(observer));
+    return runWithOptionalController(bench, mode, start_freq,
+                                     &controller, std::move(observer));
 }
 
 OfflineResult
@@ -130,8 +131,11 @@ Runner::runOfflineDynamic(const std::string &bench, double target_deg,
     };
 
     // Every probe is an independent schedule replay of the same
-    // benchmark; batches fan out across the sweep engine's workers.
-    // Probes deliberately keep this runner's clock seed (no per-job
+    // benchmark; batches fan out across the sweep engine's workers
+    // through the process-wide ResultCache, so a margin probed by an
+    // earlier search of the same benchmark (the coarse grids of
+    // Dynamic-1% and Dynamic-5% coincide) replays only once. Probes
+    // deliberately keep this runner's clock seed (no per-job
     // derivation): degradation is measured against `mcd_base`, which
     // consumed exactly that clock stream.
     using Margins = std::array<double, NUM_CONTROLLED>;
@@ -141,17 +145,26 @@ Runner::runOfflineDynamic(const std::string &bench, double target_deg,
         SimStats stats{};
         double deg = 0.0;
     };
-    ParallelSweep sweep(config_.jobs);
     auto probeBatch = [&](const std::vector<Margins> &batch) {
-        return sweep.map<Probe>(batch.size(), [&](std::size_t i) {
-            auto schedule = deriveSchedule(profile, dvfs, batch[i]);
-            Runner local(config_);
-            Probe probe;
-            probe.margins = batch[i];
-            probe.stats = local.runSchedule(bench, schedule);
-            probe.deg = degradation(probe.stats);
-            return probe;
-        });
+        std::vector<ExperimentSpec> specs;
+        specs.reserve(batch.size());
+        for (const Margins &margins : batch) {
+            ExperimentSpec spec;
+            spec.benchmark = bench;
+            spec.controller.name = "schedule";
+            spec.controller.schedule =
+                deriveSchedule(profile, dvfs, margins);
+            spec.config = config_;
+            specs.push_back(std::move(spec));
+        }
+        auto stats = runExperiments(specs, config_.jobs);
+        std::vector<Probe> probes(batch.size());
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            probes[i].margins = batch[i];
+            probes[i].stats = stats[i];
+            probes[i].deg = degradation(stats[i]);
+        }
+        return probes;
     };
     auto uniform = [](double m) {
         Margins margins;
@@ -288,15 +301,36 @@ Runner::runOfflineDynamic(const std::string &bench, double target_deg,
     return best;
 }
 
+// Cached synchronous run at one frequency: the global-DVFS
+// comparators probe synchronous operating points, and the full-speed
+// point in particular is a baseline every figure shares.
+static SimStats
+cachedSynchronous(const RunnerConfig &config, const std::string &bench,
+                  Hertz freq)
+{
+    ExperimentSpec spec;
+    spec.benchmark = bench;
+    spec.mode = ClockMode::Synchronous;
+    spec.startFreq = freq;
+    spec.config = config;
+    return ResultCache::instance().getOrRun(spec);
+}
+
+Hertz
+Runner::globalMatchedFrequency(double target_deg) const
+{
+    return std::clamp(
+        config_.dvfs.freqMax / (1.0 + std::max(0.0, target_deg)),
+        config_.dvfs.freqMin, config_.dvfs.freqMax);
+}
+
 GlobalResult
 Runner::runGlobalAtDegradation(const std::string &bench,
                                double target_deg)
 {
     GlobalResult result;
-    result.freq = std::clamp(
-        config_.dvfs.freqMax / (1.0 + std::max(0.0, target_deg)),
-        config_.dvfs.freqMin, config_.dvfs.freqMax);
-    result.stats = runSynchronous(bench, result.freq);
+    result.freq = globalMatchedFrequency(target_deg);
+    result.stats = cachedSynchronous(config_, bench, result.freq);
     return result;
 }
 
@@ -309,8 +343,8 @@ Runner::runGlobalMatching(const std::string &bench, Tick target_time)
     // Fit T(f) = a + b/f from two calibration runs.
     Hertz f1 = f_max;
     Hertz f2 = 0.5 * (f_max + f_min);
-    SimStats s1 = runSynchronous(bench, f1);
-    SimStats s2 = runSynchronous(bench, f2);
+    SimStats s1 = cachedSynchronous(config_, bench, f1);
+    SimStats s2 = cachedSynchronous(config_, bench, f2);
     double t1 = static_cast<double>(s1.time);
     double t2 = static_cast<double>(s2.time);
     double b = (t2 - t1) / (1.0 / f2 - 1.0 / f1);
@@ -325,7 +359,7 @@ Runner::runGlobalMatching(const std::string &bench, Tick target_time)
 
     double target = static_cast<double>(target_time);
     Hertz f = solve(target);
-    SimStats stats = runSynchronous(bench, f);
+    SimStats stats = cachedSynchronous(config_, bench, f);
 
     // One secant refinement against the measured point.
     double t_f = static_cast<double>(stats.time);
@@ -335,7 +369,8 @@ Runner::runGlobalMatching(const std::string &bench, Tick target_time)
         double denom = target - a;
         if (denom > 0.0 && b2 > 0.0) {
             Hertz f_refined = std::clamp(b2 / denom, f_min, f_max);
-            SimStats refined = runSynchronous(bench, f_refined);
+            SimStats refined = cachedSynchronous(config_, bench,
+                                                 f_refined);
             if (std::abs(static_cast<double>(refined.time) - target) <
                 std::abs(t_f - target)) {
                 stats = refined;

@@ -20,6 +20,7 @@
 
 #include "control/attack_decay.hh"
 #include "control/basic_controllers.hh"
+#include "control/controller_registry.hh"
 #include "core/simulator.hh"
 #include "harness/metrics.hh"
 #include "workload/benchmark_factory.hh"
@@ -78,13 +79,31 @@ struct GlobalResult
     Hertz freq = 0.0;
 };
 
-/** Runs one benchmark under the canonical machine variants. */
+/**
+ * Runs one benchmark under the canonical machine variants. Every
+ * variant method is a thin wrapper over one spec-driven path: it
+ * builds a ControllerSpec, instantiates it through the
+ * ControllerRegistry, and executes under the shared methodology
+ * (runWithOptionalController). The declarative layer on top is
+ * harness/experiment.hh.
+ */
 class Runner
 {
   public:
     explicit Runner(const RunnerConfig &config = RunnerConfig{});
 
     const RunnerConfig &config() const { return config_; }
+
+    /**
+     * The shared spec-driven execution path: run `bench` under the
+     * standard methodology with a registry-created (possibly null =
+     * uncontrolled) controller. All variant methods and the
+     * ExperimentSpec executor funnel through here.
+     */
+    SimStats runWithOptionalController(
+        const std::string &bench, ClockMode mode, Hertz start_freq,
+        FrequencyController *controller,
+        std::function<void(const IntervalStats &)> observer = {});
 
     /** Fully synchronous processor at a single global frequency. */
     SimStats runSynchronous(const std::string &bench, Hertz freq);
@@ -120,8 +139,13 @@ class Runner
         std::function<void(const IntervalStats &)> observer = {});
 
     /**
-     * Off-line Dynamic-X% comparator: binary-search the schedule margin
-     * so the replayed run degrades by `target_deg` over `mcd_base`.
+     * Off-line Dynamic-X% comparator: tune the schedule margin so the
+     * replayed run degrades by `target_deg` over `mcd_base`, using
+     * parallel grid batches (coarse grid, bracketed refinement, then
+     * per-domain refinement) fanned across the sweep workers. Probe
+     * runs go through the process-wide ResultCache, so probes shared
+     * between searches (e.g. the coarse grid of Dynamic-1% and
+     * Dynamic-5%) simulate once.
      */
     OfflineResult runOfflineDynamic(
         const std::string &bench, double target_deg,
@@ -139,6 +163,10 @@ class Runner
     GlobalResult runGlobalAtDegradation(const std::string &bench,
                                         double target_deg);
 
+    /** The closed-form frequency runGlobalAtDegradation runs at:
+     *  f = f_max / (1 + target_deg), clamped to the DVFS range. */
+    Hertz globalMatchedFrequency(double target_deg) const;
+
     /**
      * Global DVFS comparator, time-matched interpretation (ablation):
      * find the single synchronous frequency whose measured run time
@@ -152,10 +180,6 @@ class Runner
 
   private:
     RunnerConfig config_;
-
-    SimStats runOnce(const std::string &bench, ClockMode mode,
-                     Hertz start_freq, FrequencyController *controller,
-                     std::function<void(const IntervalStats &)> observer);
 
     std::uint64_t horizon() const
     {

@@ -3,6 +3,7 @@
 #include <map>
 
 #include "common/logging.hh"
+#include "workload/scenario_registry.hh"
 
 namespace mcd
 {
@@ -383,8 +384,9 @@ std::vector<std::string>
 BenchmarkFactory::suiteNames(const std::string &suite)
 {
     std::vector<std::string> names;
-    for (const auto &name : allNames()) {
-        if (table().at(name).suite == suite)
+    ScenarioRegistry &registry = ScenarioRegistry::instance();
+    for (const auto &name : registry.scenarioNames()) {
+        if (registry.spec(name).suite == suite)
             names.push_back(name);
     }
     return names;
@@ -392,6 +394,12 @@ BenchmarkFactory::suiteNames(const std::string &suite)
 
 BenchmarkSpec
 BenchmarkFactory::spec(const std::string &name)
+{
+    return ScenarioRegistry::instance().spec(name);
+}
+
+BenchmarkSpec
+BenchmarkFactory::paperSpec(const std::string &name)
 {
     auto it = table().find(name);
     if (it == table().end())

@@ -1,0 +1,234 @@
+#include "workload/scenario_registry.hh"
+
+#include <cmath>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/logging.hh"
+#include "common/serial.hh"
+#include "workload/benchmark_factory.hh"
+
+namespace mcd
+{
+
+namespace
+{
+
+std::mutex registry_mutex;
+
+double
+knobOr(const std::map<std::string, double> &knobs, const char *key,
+       double fallback)
+{
+    auto it = knobs.find(key);
+    return it == knobs.end() ? fallback : it->second;
+}
+
+double
+requireRange(const std::string &name, const char *key, double v,
+             double lo, double hi)
+{
+    if (v < lo || v > hi)
+        mcd_fatal("%s: knob '%s'=%g outside [%g, %g]", name.c_str(),
+                  key, v, lo, hi);
+    return v;
+}
+
+std::map<std::string, double>
+parseKnobs(const std::string &name, const std::string &text,
+           const std::vector<std::string> &allowed)
+{
+    std::map<std::string, double> knobs;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        auto comma = text.find(',', pos);
+        std::string item = text.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        pos = comma == std::string::npos ? text.size() : comma + 1;
+        if (item.empty())
+            continue;
+        auto eq = item.find('=');
+        if (eq == std::string::npos || eq == 0)
+            mcd_fatal("%s: knob '%s' is not key=value", name.c_str(),
+                      item.c_str());
+        std::string key = item.substr(0, eq);
+        std::string value = item.substr(eq + 1);
+        bool known = false;
+        for (const auto &a : allowed)
+            known = known || a == key;
+        if (!known)
+            mcd_fatal("%s: unknown knob '%s'", name.c_str(),
+                      key.c_str());
+        char *end = nullptr;
+        double v = std::strtod(value.c_str(), &end);
+        if (value.empty() || end != value.c_str() + value.size())
+            mcd_fatal("%s: knob '%s'='%s' is not a number",
+                      name.c_str(), key.c_str(), value.c_str());
+        knobs[key] = v;
+    }
+    return knobs;
+}
+
+/**
+ * The parametric synthetic family (see the header comment for knob
+ * semantics). With phases=N the program alternates N phases around the
+ * requested memory-boundedness (+/- 0.3, clamped), giving the
+ * controller a genuine phase structure to track; the phase period is
+ * horizon/N.
+ */
+BenchmarkSpec
+buildSynthetic(const std::string &name)
+{
+    const std::string prefix = "synthetic:";
+    std::string text = name.substr(prefix.size());
+    auto knobs = parseKnobs(
+        name, text, {"mem", "ilp", "phases", "fp", "branch", "seed"});
+
+    double mem =
+        requireRange(name, "mem", knobOr(knobs, "mem", 0.3), 0.0, 1.0);
+    int ilp = static_cast<int>(requireRange(
+        name, "ilp", knobOr(knobs, "ilp", 8.0), 1.0, 64.0));
+    int phases = static_cast<int>(requireRange(
+        name, "phases", knobOr(knobs, "phases", 1.0), 1.0, 64.0));
+    double fp =
+        requireRange(name, "fp", knobOr(knobs, "fp", 0.0), 0.0, 1.0);
+    double branch = requireRange(name, "branch",
+                                 knobOr(knobs, "branch", 0.25), 0.0,
+                                 1.0);
+    std::uint64_t seed = static_cast<std::uint64_t>(
+        knobOr(knobs, "seed",
+               static_cast<double>(serial::fnv1a(name) % 100000)));
+
+    auto makePhase = [&](double m) {
+        PhaseSpec phase;
+        phase.loadFrac = 0.16 + 0.20 * m;
+        phase.storeFrac = 0.08;
+        phase.branchFrac = 0.14;
+        phase.fpFrac = fp * 0.4;
+        phase.branchNoise = branch;
+        phase.depWindow = ilp;
+        phase.chaseFrac = 0.6 * m;
+        // Geometric footprint sweep, 16 KB (cache-resident) to 24 MB
+        // (far beyond L2): the knob moves the scenario from compute-
+        // bound to memory-bound.
+        phase.dataFootprint = static_cast<std::uint64_t>(
+            16.0 * 1024.0 * std::pow(24.0 * 1024.0 / 16.0, m));
+        phase.loopLength = 24 + ilp;
+        phase.loopIterations = 64;
+        phase.codeLoops = 4;
+        return phase;
+    };
+
+    BenchmarkSpec spec;
+    spec.name = name;
+    spec.suite = "synthetic";
+    spec.seed = seed;
+    if (phases == 1) {
+        spec.phases.push_back(makePhase(mem));
+    } else {
+        for (int i = 0; i < phases; ++i) {
+            double m = i % 2 == 0 ? std::min(1.0, mem + 0.3)
+                                  : std::max(0.0, mem - 0.3);
+            PhaseSpec phase = makePhase(m);
+            phase.weight = 1.0 / phases;
+            spec.phases.push_back(phase);
+        }
+    }
+    return spec;
+}
+
+} // namespace
+
+ScenarioRegistry &
+ScenarioRegistry::instance()
+{
+    static ScenarioRegistry *registry = [] {
+        auto *r = new ScenarioRegistry();
+        // The paper's 30 applications, in Figure 4 order.
+        for (const auto &name : BenchmarkFactory::allNames())
+            r->add(BenchmarkFactory::paperSpec(name));
+        r->addFamily("synthetic:",
+                     "parametric workload: mem=[0..1], ilp=[1..64], "
+                     "phases=[1..64], fp=[0..1], branch=[0..1], seed",
+                     buildSynthetic);
+        return r;
+    }();
+    return *registry;
+}
+
+void
+ScenarioRegistry::add(BenchmarkSpec spec)
+{
+    std::lock_guard<std::mutex> lock(registry_mutex);
+    if (fixed_.count(spec.name))
+        mcd_fatal("scenario '%s' registered twice", spec.name.c_str());
+    order_.push_back(spec.name);
+    fixed_[spec.name] = std::move(spec);
+}
+
+void
+ScenarioRegistry::addFamily(const std::string &prefix,
+                            const std::string &description, FamilyFn fn)
+{
+    std::lock_guard<std::mutex> lock(registry_mutex);
+    for (const auto &family : families_)
+        if (family.info.prefix == prefix)
+            mcd_fatal("scenario family '%s' registered twice",
+                      prefix.c_str());
+    families_.push_back(
+        Family{FamilyInfo{prefix, description}, std::move(fn)});
+}
+
+bool
+ScenarioRegistry::contains(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(registry_mutex);
+    if (fixed_.count(name))
+        return true;
+    for (const auto &family : families_)
+        if (name.rfind(family.info.prefix, 0) == 0)
+            return true;
+    return false;
+}
+
+BenchmarkSpec
+ScenarioRegistry::spec(const std::string &name) const
+{
+    FamilyFn fn;
+    {
+        std::lock_guard<std::mutex> lock(registry_mutex);
+        auto it = fixed_.find(name);
+        if (it != fixed_.end())
+            return it->second;
+        for (const auto &family : families_) {
+            if (name.rfind(family.info.prefix, 0) == 0) {
+                fn = family.fn;
+                break;
+            }
+        }
+    }
+    if (!fn)
+        mcd_fatal("unknown scenario '%s' (mcd_cli list shows "
+                  "registered names)", name.c_str());
+    return fn(name);
+}
+
+std::vector<std::string>
+ScenarioRegistry::scenarioNames() const
+{
+    std::lock_guard<std::mutex> lock(registry_mutex);
+    return order_;
+}
+
+std::vector<ScenarioRegistry::FamilyInfo>
+ScenarioRegistry::families() const
+{
+    std::lock_guard<std::mutex> lock(registry_mutex);
+    std::vector<FamilyInfo> infos;
+    for (const auto &family : families_)
+        infos.push_back(family.info);
+    return infos;
+}
+
+} // namespace mcd

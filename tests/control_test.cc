@@ -438,6 +438,77 @@ TEST(DeriveSchedule, MarginIsMonotone)
     }
 }
 
+TEST(DeriveSchedule, PerDomainMarginsApplyIndependently)
+{
+    // The per-domain overload is the search's refinement knob: each
+    // slot's margin must only move its own domain's frequency.
+    DvfsModel dvfs;
+    IntervalProfile profile;
+    profile.ipc = 1.0;
+    profile.cycles = {1000, 1000, 1000};
+    profile.issued = {400, 400, 400};
+    profile.avgOccupancy = {2.0, 2.0, 2.0};
+
+    std::array<double, NUM_CONTROLLED> margins = {0.0, 0.3, 0.8};
+    auto schedule = deriveSchedule({profile}, dvfs, margins);
+    ASSERT_EQ(schedule.size(), 1u);
+    // Identical demand per domain, so frequency ordering follows the
+    // margin ordering strictly.
+    EXPECT_LT(schedule[0][CTL_INT], schedule[0][CTL_FP]);
+    EXPECT_LT(schedule[0][CTL_FP], schedule[0][CTL_LS]);
+
+    // Raising one slot's margin must leave the other slots untouched.
+    std::array<double, NUM_CONTROLLED> raised = margins;
+    raised[CTL_FP] = 0.5;
+    auto schedule2 = deriveSchedule({profile}, dvfs, raised);
+    EXPECT_DOUBLE_EQ(schedule2[0][CTL_INT], schedule[0][CTL_INT]);
+    EXPECT_GT(schedule2[0][CTL_FP], schedule[0][CTL_FP]);
+    EXPECT_DOUBLE_EQ(schedule2[0][CTL_LS], schedule[0][CTL_LS]);
+}
+
+TEST(DeriveSchedule, UniformMarginsMatchScalarOverload)
+{
+    DvfsModel dvfs;
+    IntervalProfile profile;
+    profile.ipc = 0.8;
+    profile.cycles = {1200, 900, 1000};
+    profile.issued = {800, 100, 350};
+    profile.avgOccupancy = {6.0, 1.0, 12.0};
+
+    for (double margin : {0.0, 0.25, 0.6, 1.0}) {
+        std::array<double, NUM_CONTROLLED> margins;
+        margins.fill(margin);
+        auto scalar = deriveSchedule({profile}, dvfs, margin);
+        auto vector = deriveSchedule({profile}, dvfs, margins);
+        ASSERT_EQ(scalar.size(), vector.size());
+        for (int slot = 0; slot < NUM_CONTROLLED; ++slot)
+            EXPECT_DOUBLE_EQ(
+                scalar[0][static_cast<std::size_t>(slot)],
+                vector[0][static_cast<std::size_t>(slot)]);
+    }
+}
+
+TEST(DeriveSchedule, PerDomainMarginsRespectMachineInfo)
+{
+    DvfsModel dvfs;
+    ScheduleMachineInfo machine;
+    machine.queueSize = {10.0, 10.0, 10.0};
+    IntervalProfile profile;
+    profile.ipc = 1.0;
+    profile.cycles = {1000, 1000, 1000};
+    profile.issued = {100, 100, 100};
+    profile.avgOccupancy = {8.0, 8.0, 8.0}; // 80 % of the small queues
+
+    std::array<double, NUM_CONTROLLED> margins = {0.0, 0.0, 0.0};
+    auto small_queues = deriveSchedule({profile}, dvfs, margins,
+                                       machine);
+    auto default_queues = deriveSchedule({profile}, dvfs, margins);
+    // Smaller queues -> higher relative occupancy -> faster domains.
+    for (int slot = 0; slot < NUM_CONTROLLED; ++slot)
+        EXPECT_GT(small_queues[0][static_cast<std::size_t>(slot)],
+                  default_queues[0][static_cast<std::size_t>(slot)]);
+}
+
 TEST(GateEstimator, ReproducesTable3)
 {
     GateEstimator estimator;

@@ -1,0 +1,355 @@
+/**
+ * @file
+ * Tests for the declarative experiment layer: ExperimentSpec cache
+ * keys, the ControllerRegistry, the process-wide ResultCache (hit/miss
+ * behavior, shared baselines, batch dedup), and the fewer-total-
+ * simulations property of figure-style sweeps run in one process.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "harness/experiment.hh"
+#include "harness/parallel_sweep.hh"
+#include "workload/scenario_registry.hh"
+
+namespace mcd
+{
+namespace
+{
+
+RunnerConfig
+tinyConfig()
+{
+    RunnerConfig config;
+    config.instructions = 4000;
+    config.warmup = 1000;
+    config.intervalInstructions = 500;
+    return config;
+}
+
+ExperimentSpec
+tinySpec(const std::string &bench,
+         const ControllerSpec &controller = ControllerSpec{},
+         ClockMode mode = ClockMode::Mcd)
+{
+    ExperimentSpec spec;
+    spec.benchmark = bench;
+    spec.mode = mode;
+    spec.controller = controller;
+    spec.config = tinyConfig();
+    return spec;
+}
+
+ControllerSpec
+profilingSpec()
+{
+    ControllerSpec spec;
+    spec.name = "profiling";
+    return spec;
+}
+
+class ResultCacheTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { ResultCache::instance().clear(); }
+    void TearDown() override { ResultCache::instance().clear(); }
+};
+
+// ---------------------------------------------------------- cache keys
+
+TEST(ExperimentSpec, EqualSpecsShareAKey)
+{
+    EXPECT_EQ(tinySpec("gsm").cacheKey(), tinySpec("gsm").cacheKey());
+}
+
+TEST(ExperimentSpec, KeyDistinguishesEveryAxis)
+{
+    ExperimentSpec base = tinySpec("gsm");
+
+    EXPECT_NE(base.cacheKey(), tinySpec("adpcm").cacheKey());
+
+    ExperimentSpec mode = base;
+    mode.mode = ClockMode::Synchronous;
+    EXPECT_NE(base.cacheKey(), mode.cacheKey());
+
+    ExperimentSpec freq = base;
+    freq.startFreq = 0.5e9;
+    EXPECT_NE(base.cacheKey(), freq.cacheKey());
+
+    ExperimentSpec controller = base;
+    controller.controller = attackDecaySpec(AttackDecayConfig{});
+    EXPECT_NE(base.cacheKey(), controller.cacheKey());
+
+    ExperimentSpec params = controller;
+    params.controller.params["decay"] = 0.0125;
+    EXPECT_NE(controller.cacheKey(), params.cacheKey());
+
+    ExperimentSpec seed = base;
+    seed.config.clockSeed = 999;
+    EXPECT_NE(base.cacheKey(), seed.cacheKey());
+
+    ExperimentSpec window = base;
+    window.config.instructions = 8000;
+    EXPECT_NE(base.cacheKey(), window.cacheKey());
+}
+
+TEST(ExperimentSpec, WorkerCountIsNotPartOfTheKey)
+{
+    // The determinism contract makes results independent of the
+    // worker count, so differing `jobs` must still share a cache slot.
+    ExperimentSpec serial = tinySpec("gsm");
+    serial.config.jobs = 1;
+    ExperimentSpec wide = tinySpec("gsm");
+    wide.config.jobs = 8;
+    EXPECT_EQ(serial.cacheKey(), wide.cacheKey());
+}
+
+TEST(ExperimentSpec, ExplicitMaxFrequencyMatchesDefault)
+{
+    ExperimentSpec implicit = tinySpec("gsm");
+    ExperimentSpec explicit_max = tinySpec("gsm");
+    explicit_max.startFreq = explicit_max.config.dvfs.freqMax;
+    EXPECT_EQ(implicit.cacheKey(), explicit_max.cacheKey());
+}
+
+// ------------------------------------------------------------ registry
+
+TEST(ControllerRegistry, BuiltinsAreRegistered)
+{
+    ControllerRegistry &registry = ControllerRegistry::instance();
+    for (const char *name :
+         {"none", "constant", "profiling", "schedule", "attack_decay",
+          "frontend_attack_decay"})
+        EXPECT_TRUE(registry.contains(name)) << name;
+    EXPECT_GE(registry.list().size(), 4u);
+    EXPECT_FALSE(registry.contains("no_such_controller"));
+}
+
+TEST(ControllerRegistry, NoneCreatesNull)
+{
+    EXPECT_EQ(ControllerRegistry::instance().create(ControllerSpec{}),
+              nullptr);
+}
+
+TEST(ControllerRegistry, AttackDecaySpecRoundTripsExactly)
+{
+    AttackDecayConfig config;
+    config.deviationThreshold = 0.0123;
+    config.reactionChange = 0.045;
+    config.decay = 0.00275;
+    config.perfDegThreshold = 0.031;
+    config.endstopCount = 7;
+    config.literalListingGuard = true;
+
+    AttackDecayConfig back =
+        attackDecayConfigFromSpec(attackDecaySpec(config));
+    EXPECT_EQ(back.deviationThreshold, config.deviationThreshold);
+    EXPECT_EQ(back.reactionChange, config.reactionChange);
+    EXPECT_EQ(back.decay, config.decay);
+    EXPECT_EQ(back.perfDegThreshold, config.perfDegThreshold);
+    EXPECT_EQ(back.endstopCount, config.endstopCount);
+    EXPECT_EQ(back.literalListingGuard, config.literalListingGuard);
+}
+
+TEST(ControllerRegistry, ParseControllerSpec)
+{
+    ControllerSpec plain = parseControllerSpec("attack_decay");
+    EXPECT_EQ(plain.name, "attack_decay");
+    EXPECT_TRUE(plain.params.empty());
+
+    ControllerSpec with_params =
+        parseControllerSpec("attack_decay:decay=0.0125,endstop_count=5");
+    EXPECT_EQ(with_params.name, "attack_decay");
+    EXPECT_DOUBLE_EQ(with_params.params.at("decay"), 0.0125);
+    EXPECT_DOUBLE_EQ(with_params.params.at("endstop_count"), 5.0);
+}
+
+// --------------------------------------------------------- ResultCache
+
+TEST_F(ResultCacheTest, MissThenHit)
+{
+    ResultCache &cache = ResultCache::instance();
+    ExperimentSpec spec = tinySpec("gsm");
+
+    SimStats first = cache.getOrRun(spec);
+    EXPECT_EQ(cache.lookups(), 1u);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.simulationsRun(), 1u);
+
+    SimStats second = cache.getOrRun(spec);
+    EXPECT_EQ(cache.lookups(), 2u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.simulationsRun(), 1u);
+
+    // A cached result is indistinguishable from re-simulating.
+    EXPECT_EQ(first.time, second.time);
+    EXPECT_EQ(first.chipEnergy, second.chipEnergy);
+
+    SimStats fresh = runExperiment(spec);
+    EXPECT_EQ(first.time, fresh.time);
+    EXPECT_EQ(first.chipEnergy, fresh.chipEnergy);
+    EXPECT_EQ(first.feCycles, fresh.feCycles);
+}
+
+TEST_F(ResultCacheTest, DistinctSpecsMissIndependently)
+{
+    ResultCache &cache = ResultCache::instance();
+    cache.getOrRun(tinySpec("gsm"));
+    cache.getOrRun(tinySpec("adpcm"));
+    EXPECT_EQ(cache.simulationsRun(), 2u);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST_F(ResultCacheTest, SeedMatchedVariantsShareACachedBaseline)
+{
+    // Two variant workflows of one benchmark — a figure comparing
+    // Attack/Decay against the MCD baseline, and a sweep comparing a
+    // schedule replay against the same baseline — request the same
+    // seed-matched baseline spec. It must simulate exactly once.
+    ResultCache &cache = ResultCache::instance();
+    RunnerConfig seeded = tinyConfig();
+    seeded.clockSeed = deriveJobSeed(seeded.clockSeed, 3);
+
+    ExperimentSpec baseline = tinySpec("gsm", profilingSpec());
+    baseline.config = seeded;
+
+    // Workflow 1: baseline + Attack/Decay.
+    cache.getOrRun(baseline);
+    ExperimentSpec ad =
+        tinySpec("gsm", attackDecaySpec(AttackDecayConfig{}));
+    ad.config = seeded;
+    cache.getOrRun(ad);
+
+    // Workflow 2 re-requests the baseline for its own comparison.
+    cache.getOrRun(baseline);
+
+    EXPECT_EQ(cache.simulationsRun(), 2u); // baseline once, A/D once
+    EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST_F(ResultCacheTest, BatchDeduplicatesAgainstItselfAndTheCache)
+{
+    ResultCache &cache = ResultCache::instance();
+    ExperimentSpec spec = tinySpec("gsm");
+
+    std::vector<ExperimentSpec> batch = {spec, spec, spec};
+    auto results = runExperiments(batch, 2);
+    EXPECT_EQ(results.size(), 3u);
+    EXPECT_EQ(cache.simulationsRun(), 1u);
+    EXPECT_EQ(results[0].time, results[1].time);
+    EXPECT_EQ(results[0].time, results[2].time);
+
+    // A later batch containing the same spec is served from cache.
+    auto again = runExperiments({spec}, 1);
+    EXPECT_EQ(cache.simulationsRun(), 1u);
+    EXPECT_EQ(again[0].time, results[0].time);
+}
+
+TEST_F(ResultCacheTest, SyntheticScenariosRunThroughTheLayer)
+{
+    SimStats stats = ResultCache::instance().getOrRun(
+        tinySpec("synthetic:mem=0.9,ilp=4,phases=4"));
+    EXPECT_EQ(stats.instructions, tinyConfig().instructions);
+    EXPECT_GT(stats.time, 0u);
+}
+
+/**
+ * The figure-sweep property the cache exists for: fig5/fig6/fig7-style
+ * sweeps over one benchmark list, run in one process, issue strictly
+ * fewer simulations than the naive one-run-per-request count, because
+ * the per-benchmark baselines — and any sweep points whose
+ * configurations coincide (Figure 6(a) at decay 0.75% equals Figure
+ * 6(b) at reaction 4%) — simulate once.
+ */
+TEST_F(ResultCacheTest, FigureStyleSweepsIssueStrictlyFewerSimulations)
+{
+    ResultCache &cache = ResultCache::instance();
+    RunnerConfig base = tinyConfig();
+    std::vector<std::string> names = {"gsm", "em3d"};
+
+    auto seedMatched = [&](const ControllerSpec &controller,
+                           ClockMode mode) {
+        std::vector<ExperimentSpec> specs;
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            ExperimentSpec spec = tinySpec(names[i], controller, mode);
+            spec.config.clockSeed =
+                deriveJobSeed(base.clockSeed, i);
+            specs.push_back(spec);
+        }
+        return specs;
+    };
+
+    auto adConfig = [](double dev, double rc, double decay,
+                       double pdt) {
+        AttackDecayConfig adc;
+        adc.deviationThreshold = dev;
+        adc.reactionChange = rc;
+        adc.decay = decay;
+        adc.perfDegThreshold = pdt;
+        return adc;
+    };
+
+    std::uint64_t naive = 0;
+    auto runSweep = [&](const AttackDecayConfig &adc) {
+        naive += names.size();
+        runExperiments(seedMatched(attackDecaySpec(adc),
+                                   ClockMode::Mcd), 1);
+    };
+
+    // Baselines, as computeBaselines issues them.
+    naive += 2 * names.size();
+    runExperiments(seedMatched(profilingSpec(), ClockMode::Mcd), 1);
+    runExperiments(seedMatched(ControllerSpec{},
+                               ClockMode::Synchronous), 1);
+
+    // fig6(a)-style decay sweep and fig6(b)-style reaction sweep: the
+    // (0.015, 0.04, 0.0075, 0.03) point appears in both.
+    for (double decay : {0.005, 0.0075})
+        runSweep(adConfig(0.015, 0.04, decay, 0.03));
+    for (double rc : {0.04, 0.06})
+        runSweep(adConfig(0.015, rc, 0.0075, 0.03));
+
+    std::uint64_t after_fig6 = cache.simulationsRun();
+    EXPECT_LT(after_fig6, naive);
+
+    // A fig7-style pass re-runs the same configurations for its own
+    // metric; in one process it must not simulate at all.
+    for (double decay : {0.005, 0.0075})
+        runSweep(adConfig(0.015, 0.04, decay, 0.03));
+    for (double rc : {0.04, 0.06})
+        runSweep(adConfig(0.015, rc, 0.0075, 0.03));
+
+    EXPECT_EQ(cache.simulationsRun(), after_fig6);
+    EXPECT_LT(cache.simulationsRun(), naive);
+    EXPECT_EQ(cache.lookups(), naive);
+}
+
+/**
+ * The offline Dynamic-1% and Dynamic-5% searches of one benchmark
+ * share their coarse probe grid; running both through the cache must
+ * issue strictly fewer schedule replays than the two searches probe.
+ */
+TEST_F(ResultCacheTest, OfflineSearchesShareCoarseProbes)
+{
+    ResultCache &cache = ResultCache::instance();
+    Runner runner(tinyConfig());
+    std::vector<IntervalProfile> profile;
+    SimStats mcd = runner.runMcdBaseline("gsm", &profile);
+
+    runner.runOfflineDynamic("gsm", 0.01, mcd, profile);
+    std::uint64_t after_first = cache.simulationsRun();
+    std::uint64_t lookups_first = cache.lookups();
+    EXPECT_GT(after_first, 0u);
+
+    runner.runOfflineDynamic("gsm", 0.05, mcd, profile);
+    std::uint64_t second_lookups = cache.lookups() - lookups_first;
+    std::uint64_t second_sims = cache.simulationsRun() - after_first;
+    // The second search re-probes the identical coarse grid (and
+    // possibly more): strictly fewer simulations than probes.
+    EXPECT_LT(second_sims, second_lookups);
+}
+
+} // namespace
+} // namespace mcd

@@ -8,10 +8,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <set>
 
 #include "workload/benchmark_factory.hh"
+#include "workload/scenario_registry.hh"
 #include "workload/workload.hh"
 
 namespace mcd
@@ -378,6 +380,109 @@ INSTANTIATE_TEST_SUITE_P(
     Benchmarks, FactoryStreamProperty,
     ::testing::Values("adpcm", "epic", "gcc", "mcf", "swim", "bh",
                       "treeadd", "vortex", "art", "ghostscript"));
+
+TEST(ScenarioRegistry, ContainsThePaperBenchmarksInOrder)
+{
+    ScenarioRegistry &registry = ScenarioRegistry::instance();
+    auto names = registry.scenarioNames();
+    ASSERT_GE(names.size(), 30u);
+    // The built-in 30 lead, in Figure 4 order.
+    const auto &paper = BenchmarkFactory::allNames();
+    for (std::size_t i = 0; i < paper.size(); ++i)
+        EXPECT_EQ(names[i], paper[i]);
+    for (const auto &name : paper)
+        EXPECT_TRUE(registry.contains(name)) << name;
+    EXPECT_FALSE(registry.contains("no_such_benchmark"));
+}
+
+TEST(ScenarioRegistry, SyntheticFamilyIsRegistered)
+{
+    ScenarioRegistry &registry = ScenarioRegistry::instance();
+    bool found = false;
+    for (const auto &family : registry.families())
+        found = found || family.prefix == "synthetic:";
+    EXPECT_TRUE(found);
+    EXPECT_TRUE(registry.contains("synthetic:mem=0.5"));
+    EXPECT_TRUE(registry.contains("synthetic:")); // all defaults
+}
+
+TEST(ScenarioRegistry, SyntheticKnobsShapeTheSpec)
+{
+    ScenarioRegistry &registry = ScenarioRegistry::instance();
+
+    BenchmarkSpec lean = registry.spec("synthetic:mem=0,ilp=2");
+    BenchmarkSpec heavy = registry.spec("synthetic:mem=1,ilp=32");
+    ASSERT_EQ(lean.phases.size(), 1u);
+    ASSERT_EQ(heavy.phases.size(), 1u);
+    EXPECT_EQ(lean.phases[0].depWindow, 2);
+    EXPECT_EQ(heavy.phases[0].depWindow, 32);
+    EXPECT_LT(lean.phases[0].dataFootprint,
+              heavy.phases[0].dataFootprint);
+    EXPECT_LT(lean.phases[0].loadFrac, heavy.phases[0].loadFrac);
+    EXPECT_LT(lean.phases[0].chaseFrac, heavy.phases[0].chaseFrac);
+    EXPECT_EQ(lean.suite, "synthetic");
+
+    BenchmarkSpec phased = registry.spec("synthetic:phases=6");
+    ASSERT_EQ(phased.phases.size(), 6u);
+    // Alternating memory-boundedness: adjacent phases differ.
+    EXPECT_NE(phased.phases[0].dataFootprint,
+              phased.phases[1].dataFootprint);
+    EXPECT_EQ(phased.phases[0].dataFootprint,
+              phased.phases[2].dataFootprint);
+}
+
+TEST(ScenarioRegistry, SyntheticSeedKnobAndNameDefault)
+{
+    ScenarioRegistry &registry = ScenarioRegistry::instance();
+    EXPECT_EQ(registry.spec("synthetic:seed=77").seed, 77u);
+    // Distinct names default to distinct seeds, deterministically.
+    auto a = registry.spec("synthetic:mem=0.2");
+    auto a2 = registry.spec("synthetic:mem=0.2");
+    auto b = registry.spec("synthetic:mem=0.4");
+    EXPECT_EQ(a.seed, a2.seed);
+    EXPECT_NE(a.seed, b.seed);
+}
+
+TEST(ScenarioRegistry, SyntheticProgramsAreDeterministic)
+{
+    BenchmarkSpec spec = ScenarioRegistry::instance().spec(
+        "synthetic:mem=0.7,ilp=4,phases=4");
+    SyntheticProgram a(spec, 20000);
+    SyntheticProgram b(spec, 20000);
+    for (int i = 0; i < 5000; ++i) {
+        MicroOp oa = a.next();
+        MicroOp ob = b.next();
+        EXPECT_EQ(oa.cls, ob.cls);
+        EXPECT_EQ(oa.pc, ob.pc);
+        EXPECT_EQ(oa.memAddr, ob.memAddr);
+    }
+}
+
+TEST(ScenarioRegistry, FactoryCreatesSyntheticScenarios)
+{
+    auto workload =
+        BenchmarkFactory::create("synthetic:mem=0.8,ilp=4", 10000);
+    ASSERT_NE(workload, nullptr);
+    EXPECT_EQ(workload->name(), "synthetic:mem=0.8,ilp=4");
+    for (int i = 0; i < 1000; ++i)
+        workload->next();
+}
+
+TEST(ScenarioRegistry, UserScenariosRegisterOnce)
+{
+    BenchmarkSpec custom = simpleSpec();
+    custom.name = "workload_test_custom";
+    custom.suite = "test";
+    ScenarioRegistry::instance().add(custom);
+    EXPECT_TRUE(
+        ScenarioRegistry::instance().contains("workload_test_custom"));
+    EXPECT_EQ(BenchmarkFactory::spec("workload_test_custom").suite,
+              "test");
+    auto suite = BenchmarkFactory::suiteNames("test");
+    EXPECT_NE(std::find(suite.begin(), suite.end(),
+                        "workload_test_custom"),
+              suite.end());
+}
 
 } // namespace
 } // namespace mcd
