@@ -160,5 +160,6 @@ main()
         row("Attack/Decay + front-end scaling (future work)", extended);
     }
     std::printf("%s", part2.render().c_str());
+    reportStoreStats();
     return 0;
 }

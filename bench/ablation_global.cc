@@ -97,5 +97,6 @@ main()
                 powerPerfRatio(fm_all));
     std::printf("time-matched power/perf ratio: %.2f (higher for "
                 "memory-bound apps)\n", powerPerfRatio(tm_all));
+    reportStoreStats();
     return 0;
 }

@@ -59,5 +59,6 @@ main()
                                  &ComparisonMetrics::edpImprovement))});
     }
     std::printf("%s", table.render().c_str());
+    reportStoreStats();
     return 0;
 }

@@ -69,5 +69,6 @@ main()
                 "after quiet intervals, giving up most of the energy "
                 "savings;\nthe prose guard matches the paper's "
                 "description of catching natural IPC drops.\n");
+    reportStoreStats();
     return 0;
 }

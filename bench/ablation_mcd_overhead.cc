@@ -69,5 +69,6 @@ main()
     std::printf("%s", table.render().c_str());
     std::printf("\npaper: <2%% inherent degradation (1.3%% average) and "
                 "+2.9%% total energy from the MCD clock subsystem.\n");
+    reportStoreStats();
     return 0;
 }

@@ -70,18 +70,18 @@ computeOne(Runner &runner, const std::string &name,
     BenchResults r;
     r.name = name;
 
-    // The baseline MCD run doubles as the off-line profiling pass, so
-    // it stays a direct Runner call (the cache memoizes SimStats, not
-    // profiles). The synchronous and Attack/Decay runs are plain
-    // cacheable specs.
+    // Every product here is an artifact: the baseline MCD run doubles
+    // as the off-line profiling pass (one simulation, two artifacts),
+    // the synchronous and Attack/Decay runs are plain cacheable
+    // specs, and the offline searches memoize whole results.
     std::vector<IntervalProfile> profile;
     r.mcdBase = runner.runMcdBaseline(name, &profile);
 
     ControllerSpec none;
-    r.sync = ResultCache::instance().getOrRun(
+    r.sync = ArtifactCache::instance().getOrRun(
         makeSpec(runner.config(), name, none, ClockMode::Synchronous,
                  runner.config().dvfs.freqMax));
-    r.attackDecay = ResultCache::instance().getOrRun(
+    r.attackDecay = ArtifactCache::instance().getOrRun(
         makeSpec(runner.config(), name,
                  attackDecaySpec(scaledAttackDecay())));
 
@@ -143,6 +143,29 @@ printMethodology(const RunnerConfig &config)
                 static_cast<unsigned long long>(config.instructions),
                 static_cast<unsigned long long>(config.warmup),
                 config.intervalInstructions);
+}
+
+void
+reportStoreStats()
+{
+    ArtifactCache &cache = ArtifactCache::instance();
+    std::string root = cache.storeRoot();
+    std::fprintf(stderr,
+                 "store: lookups=%llu hits=%llu disk_hits=%llu "
+                 "simulations=%llu",
+                 static_cast<unsigned long long>(cache.lookups()),
+                 static_cast<unsigned long long>(cache.hits()),
+                 static_cast<unsigned long long>(cache.diskHits()),
+                 static_cast<unsigned long long>(
+                     cache.simulationsRun()));
+    if (!root.empty())
+        std::fprintf(stderr, " disk_entries=%zu disk_bytes=%llu "
+                             "root=%s",
+                     cache.diskEntries(),
+                     static_cast<unsigned long long>(
+                         cache.diskBytes()),
+                     root.c_str());
+    std::fputc('\n', stderr);
 }
 
 } // namespace mcd::bench

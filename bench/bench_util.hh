@@ -5,8 +5,10 @@
  * canonical machine variants, and the canonical result set (fully
  * synchronous, baseline MCD, Attack/Decay, Dynamic-1%, Dynamic-5%,
  * matched Global DVFS) each experiment draws from. Cacheable runs go
- * through the process-wide ResultCache, so a (benchmark, machine)
- * pair shared by several experiments in one process simulates once.
+ * through the process-wide ArtifactCache, so a (benchmark, machine)
+ * pair shared by several experiments in one process simulates once —
+ * and with MCD_STORE set, across processes: a warm disk store
+ * reproduces a figure's stdout byte-for-byte with zero simulations.
  *
  * Environment knobs (all optional):
  *   MCD_INSNS       measured instructions per run   (default 250000)
@@ -15,6 +17,7 @@
  *   MCD_BENCHMARKS  comma-separated scenario list   (default: all 30;
  *                   any registered scenario works, incl. synthetic:)
  *   MCD_JOBS        sweep worker threads            (default: all cores)
+ *   MCD_STORE       persistent artifact store root  (default: none)
  */
 
 #ifndef MCD_BENCH_BENCH_UTIL_HH
@@ -111,6 +114,15 @@ computeAll(Runner &runner, const std::vector<std::string> &names,
 
 /** Print the methodology banner (window sizes, interval). */
 void printMethodology(const RunnerConfig &config);
+
+/**
+ * Print the ArtifactCache counters — and, when a disk store is
+ * attached, its root/entries/bytes — as one machine-greppable stderr
+ * line (`store: lookups=... simulations=...`). Every figure binary
+ * calls this last; stderr keeps a warm re-run's stdout byte-identical
+ * to the cold run's while CI asserts `simulations=0` on the warm one.
+ */
+void reportStoreStats();
 
 } // namespace mcd::bench
 

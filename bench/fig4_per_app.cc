@@ -74,5 +74,6 @@ main()
                 &ComparisonMetrics::energySavings);
     printSeries("Figure 4(c): Energy-Delay Product Improvement", all,
                 &ComparisonMetrics::edpImprovement);
+    reportStoreStats();
     return 0;
 }

@@ -58,5 +58,6 @@ main()
     std::printf("\npaper shape: achieved tracks the ideal line over the "
                 "4-10%% range;\nEDP improvement flattens then declines "
                 "past a ~9%% target.\n");
+    reportStoreStats();
     return 0;
 }

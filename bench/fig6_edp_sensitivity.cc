@@ -93,5 +93,6 @@ main()
 
     std::printf("paper shape: each curve peaks in a broad flat middle "
                 "range and falls off at the extremes.\n");
+    reportStoreStats();
     return 0;
 }

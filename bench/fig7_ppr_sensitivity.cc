@@ -91,5 +91,6 @@ main()
 
     std::printf("paper shape: the ratio stays in the 3.5-4.6 band over "
                 "a broad middle range of each parameter.\n");
+    reportStoreStats();
     return 0;
 }

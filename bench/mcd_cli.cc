@@ -9,11 +9,15 @@
  *   mcd_cli list [--json]
  *   mcd_cli run --bench <name>[,<name>...]
  *               [--controller <name>[:<k=v>,...]]
- *               [--mode mcd|sync] [--freq <hz>] [--seed <n>] [--json]
+ *               [--mode mcd|sync] [--freq <hz>] [--seed <n>]
+ *               [--store <dir>] [--json]
+ *   mcd_cli cache [--store <dir>] [--json]
  *
  * The usual environment knobs (MCD_INSNS, MCD_WARMUP, MCD_INTERVAL,
- * MCD_JOBS) set the methodology. Runs resolve through the process-wide
- * ResultCache: repeated benchmarks in one invocation simulate once.
+ * MCD_JOBS, MCD_STORE) set the methodology. Runs resolve through the
+ * process-wide ArtifactCache: repeated benchmarks in one invocation
+ * simulate once, and with a persistent store (--store or MCD_STORE)
+ * once across invocations. `cache` prints the store statistics.
  */
 
 #include <cstdio>
@@ -145,6 +149,64 @@ listRegistries(bool json)
     std::printf("%s", controller_table.render().c_str());
 }
 
+// ------------------------------------------------------------ cache
+
+std::string
+cacheJsonObject(const ArtifactCache &cache)
+{
+    std::string out = "{";
+    out += "\"lookups\": " + jsonU64(cache.lookups());
+    out += ", \"hits\": " + jsonU64(cache.hits());
+    out += ", \"disk_hits\": " + jsonU64(cache.diskHits());
+    out += ", \"simulations\": " + jsonU64(cache.simulationsRun());
+    out += ", \"memory_entries\": " +
+           jsonU64(static_cast<std::uint64_t>(cache.size()));
+    std::string root = cache.storeRoot();
+    if (root.empty()) {
+        out += ", \"store_root\": null";
+    } else {
+        out += ", \"store_root\": " + jsonStr(root);
+        out += ", \"disk_entries\": " +
+               jsonU64(static_cast<std::uint64_t>(cache.diskEntries()));
+        out += ", \"disk_bytes\": " + jsonU64(cache.diskBytes());
+    }
+    out += "}";
+    return out;
+}
+
+int
+cacheStatsCli(const std::string &store, bool json)
+{
+    ArtifactCache &cache = ArtifactCache::instance();
+    if (!store.empty())
+        cache.attachDiskStore(store);
+
+    if (json) {
+        std::string out =
+            "{\n  \"cache\": " + cacheJsonObject(cache) + "\n}\n";
+        std::fputs(out.c_str(), stdout);
+        return 0;
+    }
+
+    TextTable table("artifact store");
+    table.setHeader({"statistic", "value"});
+    table.addRow({"lookups", std::to_string(cache.lookups())});
+    table.addRow({"hits", std::to_string(cache.hits())});
+    table.addRow({"disk hits", std::to_string(cache.diskHits())});
+    table.addRow({"simulations run",
+                  std::to_string(cache.simulationsRun())});
+    table.addRow({"memory entries", std::to_string(cache.size())});
+    std::string root = cache.storeRoot();
+    table.addRow({"store root", root.empty() ? "(memory only)" : root});
+    if (!root.empty()) {
+        table.addRow({"disk entries",
+                      std::to_string(cache.diskEntries())});
+        table.addRow({"disk bytes", std::to_string(cache.diskBytes())});
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}
+
 // -------------------------------------------------------------- run
 
 std::string
@@ -207,11 +269,13 @@ int
 runExperimentsCli(const std::vector<std::string> &benches,
                   const ControllerSpec &controller, ClockMode mode,
                   Hertz freq, std::uint64_t seed, bool have_seed,
-                  bool json)
+                  const std::string &store, bool json)
 {
     RunnerConfig config = standardConfig();
     if (have_seed)
         config.clockSeed = seed;
+    if (!store.empty())
+        config.store = store; // --store overrides MCD_STORE
 
     std::vector<ExperimentSpec> specs;
     for (const auto &bench : benches) {
@@ -223,7 +287,7 @@ runExperimentsCli(const std::vector<std::string> &benches,
     }
 
     auto results = runExperiments(specs, config.jobs);
-    ResultCache &cache = ResultCache::instance();
+    ArtifactCache &cache = ArtifactCache::instance();
 
     if (json) {
         std::string out = "{\n  \"experiments\": [\n";
@@ -231,11 +295,8 @@ runExperimentsCli(const std::vector<std::string> &benches,
             out += runJson(specs[i], results[i]);
             out += i + 1 < specs.size() ? ",\n" : "\n";
         }
-        out += "  ],\n  \"cache\": {\"lookups\": " +
-               jsonU64(cache.lookups()) +
-               ", \"hits\": " + jsonU64(cache.hits()) +
-               ", \"simulations\": " + jsonU64(cache.simulationsRun()) +
-               "}\n}\n";
+        out += "  ],\n  \"cache\": " + cacheJsonObject(cache) +
+               "\n}\n";
         std::fputs(out.c_str(), stdout);
         return 0;
     }
@@ -252,11 +313,15 @@ runExperimentsCli(const std::vector<std::string> &benches,
                       num(results[i].cpi, 3), num(results[i].epi, 3)});
     }
     std::printf("%s", table.render().c_str());
-    std::printf("\ncache: %llu lookups, %llu hits, %llu simulations\n",
+    std::printf("\ncache: %llu lookups, %llu hits (%llu from disk), "
+                "%llu simulations%s%s\n",
                 static_cast<unsigned long long>(cache.lookups()),
                 static_cast<unsigned long long>(cache.hits()),
+                static_cast<unsigned long long>(cache.diskHits()),
                 static_cast<unsigned long long>(
-                    cache.simulationsRun()));
+                    cache.simulationsRun()),
+                cache.storeRoot().empty() ? "" : ", store ",
+                cache.storeRoot().c_str());
     return 0;
 }
 
@@ -271,15 +336,23 @@ usage()
         "  mcd_cli run --bench <name>[,<name>...]\n"
         "              [--controller <name>[:<k=v>,...]]\n"
         "              [--mode mcd|sync] [--freq <hz>] [--seed <n>]\n"
-        "              [--json]             run experiments\n"
+        "              [--store <dir>] [--json]\n"
+        "                                   run experiments\n"
+        "  mcd_cli cache [--store <dir>] [--json]\n"
+        "                                   print artifact-store "
+        "statistics\n"
         "\n"
         "examples:\n"
         "  mcd_cli list\n"
         "  mcd_cli run --bench gsm --controller "
         "attack_decay:decay=0.0125,perf_deg_threshold=0.015 --json\n"
         "  mcd_cli run --bench synthetic:mem=0.8,ilp=4,phases=6\n"
+        "  mcd_cli run --bench gsm --store /tmp/mcd-store   # warm it\n"
+        "  mcd_cli cache --store /tmp/mcd-store --json\n"
         "\n"
-        "environment: MCD_INSNS, MCD_WARMUP, MCD_INTERVAL, MCD_JOBS\n");
+        "environment: MCD_INSNS, MCD_WARMUP, MCD_INTERVAL, MCD_JOBS,\n"
+        "             MCD_STORE (persistent artifact store root;\n"
+        "             --store overrides)\n");
 }
 
 } // namespace
@@ -296,12 +369,14 @@ main(int argc, char **argv)
     bool json = false;
     bool do_list = false;
     bool do_run = false;
+    bool do_cache = false;
     std::vector<std::string> benches;
     ControllerSpec controller; // "none"
     ClockMode mode = ClockMode::Mcd;
     Hertz freq = 0.0;
     std::uint64_t seed = 0;
     bool have_seed = false;
+    std::string store; // --store; "" defers to MCD_STORE
 
     auto value = [&](std::size_t &i) -> std::string {
         if (i + 1 >= args.size())
@@ -315,6 +390,12 @@ main(int argc, char **argv)
             do_list = true;
         } else if (arg == "run") {
             do_run = true;
+        } else if (arg == "cache") {
+            do_cache = true;
+        } else if (arg == "--store") {
+            store = value(i);
+            if (store.empty())
+                mcd_fatal("--store needs a non-empty directory");
         } else if (arg == "--json") {
             json = true;
         } else if (arg == "--bench") {
@@ -356,7 +437,15 @@ main(int argc, char **argv)
         if (benches.empty())
             mcd_fatal("run needs --bench <name>[,<name>...]");
         return runExperimentsCli(benches, controller, mode, freq, seed,
-                                 have_seed, json);
+                                 have_seed, store, json);
+    }
+    if (do_cache) {
+        // Standalone `cache` reports on the persistent layer (--store
+        // or MCD_STORE); after `run` in the same process it would also
+        // reflect that run's counters, but subcommands are exclusive.
+        std::string root =
+            store.empty() ? standardConfig().store : store;
+        return cacheStatsCli(root, json);
     }
     if (!do_list && !do_run) {
         usage();

@@ -6,9 +6,10 @@
  * ExperimentSpecs — one controller spec applied to every benchmark,
  * with per-benchmark clock seeds derived from the benchmark's index —
  * executed on the ParallelSweep workers (MCD_JOBS) through the
- * process-wide ResultCache. Baselines and any sweep points that
- * coincide therefore simulate once per process, and aggregates are
- * bit-identical for any worker count.
+ * process-wide ArtifactCache. Baselines and any sweep points that
+ * coincide therefore simulate once per process (once ever, with a
+ * MCD_STORE disk store), and aggregates are bit-identical for any
+ * worker count.
  */
 
 #ifndef MCD_BENCH_SWEEP_UTIL_HH
@@ -41,7 +42,7 @@ seedMatchedSpecs(const RunnerConfig &base,
 /**
  * Run one controller variant over every benchmark on seed-matched
  * per-benchmark machines, fanned across the ParallelSweep workers and
- * resolved through the ResultCache. Results come back in `names`
+ * resolved through the ArtifactCache. Results come back in `names`
  * order, bit-identical for any worker count.
  */
 std::vector<SimStats>

@@ -123,5 +123,6 @@ main()
                     "improvement (paper: 85.5%%)\n",
                     pct(ad_edp / d1_edp).c_str());
     }
+    reportStoreStats();
     return 0;
 }

@@ -3,7 +3,7 @@
  * The declarative experiment layer in ~60 lines: describe runs as
  * ExperimentSpecs (scenario x controller x methodology), execute them
  * as one batch on the sweep workers, and let the process-wide
- * ResultCache deduplicate anything two experiments share.
+ * ArtifactCache deduplicate anything two experiments share.
  *
  * Build and run:
  *   cmake --build build --target example_experiment_spec_demo
@@ -69,7 +69,7 @@ main()
                     results[i].chipEnergy);
     }
 
-    ResultCache &cache = ResultCache::instance();
+    ArtifactCache &cache = ArtifactCache::instance();
     std::printf("\n%llu specs requested, %llu simulations run, "
                 "%llu served from the cache\n",
                 static_cast<unsigned long long>(cache.lookups()),

@@ -1,5 +1,6 @@
 #include "common/env.hh"
 
+#include <cctype>
 #include <cerrno>
 #include <cstdlib>
 #include <limits>
@@ -43,6 +44,20 @@ envU64(const char *name, std::uint64_t fallback, std::uint64_t min)
     if (v < 0)
         return fallback;
     return static_cast<std::uint64_t>(v);
+}
+
+std::string
+envString(const char *name, const std::string &fallback)
+{
+    const char *s = std::getenv(name);
+    if (!s || !*s)
+        return fallback;
+    bool blank = true;
+    for (const char *p = s; *p; ++p)
+        blank = blank && std::isspace(static_cast<unsigned char>(*p));
+    if (blank)
+        return fallback;
+    return s;
 }
 
 std::vector<std::string>

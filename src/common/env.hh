@@ -34,6 +34,16 @@ std::uint64_t envU64(const char *name, std::uint64_t fallback,
                      std::uint64_t min = 1);
 
 /**
+ * Read environment variable `name` as a non-empty string (e.g. the
+ * MCD_STORE artifact-store root). Returns `fallback` when the
+ * variable is unset, empty, or all whitespace — a blank path is a
+ * typo, not a request for a store rooted at "" — and the value
+ * verbatim otherwise.
+ */
+std::string envString(const char *name,
+                      const std::string &fallback = "");
+
+/**
  * Split environment variable `name` on commas, dropping empty items.
  * Returns an empty vector when the variable is unset or holds no
  * non-empty items ("", ",,,").

@@ -52,8 +52,8 @@ struct ControllerSpec
     /**
      * Append an exact, unambiguous serialization (length-prefixed
      * strings, raw IEEE-754 bytes for doubles) to `out`; the
-     * ResultCache key builder uses this, so equal serializations must
-     * imply bit-identical controller behavior.
+     * artifact cache key builders use this, so equal serializations
+     * must imply bit-identical controller behavior.
      */
     void appendTo(std::string &out) const;
 };

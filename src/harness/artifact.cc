@@ -1,0 +1,133 @@
+#include "harness/artifact.hh"
+
+namespace mcd
+{
+
+using serial::appendDouble;
+using serial::appendI64;
+using serial::appendU64;
+using serial::Reader;
+
+void
+ArtifactTraits<SimStats>::encodePayload(std::string &out,
+                                        const SimStats &s)
+{
+    appendU64(out, s.instructions);
+    appendU64(out, s.feCycles);
+    appendI64(out, s.time);
+    appendDouble(out, s.chipEnergy);
+    appendDouble(out, s.cpi);
+    appendDouble(out, s.epi);
+    appendU64(out, s.branches);
+    appendU64(out, s.mispredicts);
+    appendU64(out, s.loads);
+    appendU64(out, s.stores);
+    appendU64(out, s.l1dMisses);
+    appendU64(out, s.l2Misses);
+    for (NanoJoule e : s.domainEnergy)
+        appendDouble(out, e);
+}
+
+bool
+ArtifactTraits<SimStats>::decodePayload(Reader &in, SimStats &s)
+{
+    s.instructions = in.readU64();
+    s.feCycles = in.readU64();
+    s.time = in.readI64();
+    s.chipEnergy = in.readDouble();
+    s.cpi = in.readDouble();
+    s.epi = in.readDouble();
+    s.branches = in.readU64();
+    s.mispredicts = in.readU64();
+    s.loads = in.readU64();
+    s.stores = in.readU64();
+    s.l1dMisses = in.readU64();
+    s.l2Misses = in.readU64();
+    for (NanoJoule &e : s.domainEnergy)
+        e = in.readDouble();
+    return in.ok();
+}
+
+void
+ArtifactTraits<std::vector<IntervalProfile>>::encodePayload(
+    std::string &out, const std::vector<IntervalProfile> &profile)
+{
+    appendU64(out, profile.size());
+    for (const IntervalProfile &p : profile) {
+        appendU64(out, p.instructions);
+        appendDouble(out, p.ipc);
+        for (int d = 0; d < NUM_CONTROLLED; ++d) {
+            auto i = static_cast<std::size_t>(d);
+            appendDouble(out, p.busyFraction[i]);
+            appendDouble(out, p.queueUtilization[i]);
+            appendDouble(out, p.avgOccupancy[i]);
+            appendU64(out, p.issued[i]);
+            appendU64(out, p.cycles[i]);
+        }
+    }
+}
+
+bool
+ArtifactTraits<std::vector<IntervalProfile>>::decodePayload(
+    Reader &in, std::vector<IntervalProfile> &profile)
+{
+    std::uint64_t count = in.readU64();
+    if (!in.ok())
+        return false;
+    profile.clear();
+    profile.reserve(count);
+    for (std::uint64_t k = 0; k < count && in.ok(); ++k) {
+        IntervalProfile p;
+        p.instructions = in.readU64();
+        p.ipc = in.readDouble();
+        for (int d = 0; d < NUM_CONTROLLED; ++d) {
+            auto i = static_cast<std::size_t>(d);
+            p.busyFraction[i] = in.readDouble();
+            p.queueUtilization[i] = in.readDouble();
+            p.avgOccupancy[i] = in.readDouble();
+            p.issued[i] = in.readU64();
+            p.cycles[i] = in.readU64();
+        }
+        profile.push_back(p);
+    }
+    return in.ok();
+}
+
+void
+ArtifactTraits<OfflineResult>::encodePayload(std::string &out,
+                                             const OfflineResult &r)
+{
+    ArtifactTraits<SimStats>::encodePayload(out, r.stats);
+    appendDouble(out, r.margin);
+    appendDouble(out, r.achievedDeg);
+}
+
+bool
+ArtifactTraits<OfflineResult>::decodePayload(Reader &in,
+                                             OfflineResult &r)
+{
+    if (!ArtifactTraits<SimStats>::decodePayload(in, r.stats))
+        return false;
+    r.margin = in.readDouble();
+    r.achievedDeg = in.readDouble();
+    return in.ok();
+}
+
+void
+ArtifactTraits<GlobalResult>::encodePayload(std::string &out,
+                                            const GlobalResult &r)
+{
+    ArtifactTraits<SimStats>::encodePayload(out, r.stats);
+    appendDouble(out, r.freq);
+}
+
+bool
+ArtifactTraits<GlobalResult>::decodePayload(Reader &in, GlobalResult &r)
+{
+    if (!ArtifactTraits<SimStats>::decodePayload(in, r.stats))
+        return false;
+    r.freq = in.readDouble();
+    return in.ok();
+}
+
+} // namespace mcd

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The artifact serialization contract: every experiment product the
+ * harness persists — `SimStats`, a profiling pass's
+ * `std::vector<IntervalProfile>`, an `OfflineResult`, a
+ * `GlobalResult` — has an `ArtifactTraits` specialization giving it a
+ * stable type name, a format version, and an exact binary encoding
+ * built from `src/common/serial.hh`.
+ *
+ * The contract mirrors the cache keys': the encoding is exact (raw
+ * IEEE-754 bits for doubles, length-prefixed strings), so
+ * `decode(encode(x))` reproduces `x` bit for bit and a stored
+ * artifact is indistinguishable from re-simulating. Every blob is
+ * self-describing — a header of type name + version precedes the
+ * payload — and `decodeArtifact` rejects wrong types, wrong versions,
+ * truncation, and trailing garbage, which the store layer treats as a
+ * cache miss (recompute) rather than an error. Bump an artifact's
+ * `version` whenever its payload layout changes; stale disk entries
+ * then age out as misses instead of decoding to garbage.
+ */
+
+#ifndef MCD_HARNESS_ARTIFACT_HH
+#define MCD_HARNESS_ARTIFACT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/serial.hh"
+#include "control/basic_controllers.hh"
+#include "harness/runner.hh"
+
+namespace mcd
+{
+
+/**
+ * Per-type serialization contract. Specializations provide:
+ *   static constexpr const char *name;     // stable type tag
+ *   static constexpr std::uint64_t version;
+ *   static void encodePayload(std::string &out, const T &value);
+ *   static bool decodePayload(serial::Reader &in, T &value);
+ */
+template <typename T> struct ArtifactTraits;
+
+template <> struct ArtifactTraits<SimStats>
+{
+    static constexpr const char *name = "sim_stats";
+    static constexpr std::uint64_t version = 1;
+    static void encodePayload(std::string &out, const SimStats &s);
+    static bool decodePayload(serial::Reader &in, SimStats &s);
+};
+
+template <> struct ArtifactTraits<std::vector<IntervalProfile>>
+{
+    static constexpr const char *name = "interval_profiles";
+    static constexpr std::uint64_t version = 1;
+    static void encodePayload(std::string &out,
+                              const std::vector<IntervalProfile> &p);
+    static bool decodePayload(serial::Reader &in,
+                              std::vector<IntervalProfile> &p);
+};
+
+template <> struct ArtifactTraits<OfflineResult>
+{
+    static constexpr const char *name = "offline_result";
+    static constexpr std::uint64_t version = 1;
+    static void encodePayload(std::string &out, const OfflineResult &r);
+    static bool decodePayload(serial::Reader &in, OfflineResult &r);
+};
+
+template <> struct ArtifactTraits<GlobalResult>
+{
+    static constexpr const char *name = "global_result";
+    static constexpr std::uint64_t version = 1;
+    static void encodePayload(std::string &out, const GlobalResult &r);
+    static bool decodePayload(serial::Reader &in, GlobalResult &r);
+};
+
+/** Encode `value` as a self-describing blob: header + payload. */
+template <typename T>
+std::string
+encodeArtifact(const T &value)
+{
+    std::string blob;
+    serial::appendString(blob, ArtifactTraits<T>::name);
+    serial::appendU64(blob, ArtifactTraits<T>::version);
+    ArtifactTraits<T>::encodePayload(blob, value);
+    return blob;
+}
+
+/**
+ * Decode a blob produced by encodeArtifact<T>. Returns false — leaving
+ * `value` unspecified — on type mismatch, version mismatch,
+ * truncation, or trailing bytes; callers treat false as a cache miss.
+ */
+template <typename T>
+bool
+decodeArtifact(const std::string &blob, T &value)
+{
+    serial::Reader in(blob);
+    if (in.readString() != ArtifactTraits<T>::name || !in.ok())
+        return false;
+    if (in.readU64() != ArtifactTraits<T>::version || !in.ok())
+        return false;
+    if (!ArtifactTraits<T>::decodePayload(in, value))
+        return false;
+    return in.atEnd();
+}
+
+} // namespace mcd
+
+#endif // MCD_HARNESS_ARTIFACT_HH

@@ -1,0 +1,215 @@
+#include "harness/artifact_store.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "common/serial.hh"
+
+namespace mcd
+{
+
+namespace fs = std::filesystem;
+
+// ------------------------------------------------------- MemoryStore
+
+bool
+MemoryStore::get(const std::string &key, std::string &blob)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(key);
+    if (it == map_.end())
+        return false;
+    blob = it->second;
+    return true;
+}
+
+void
+MemoryStore::put(const std::string &key, const std::string &blob)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(key);
+    if (it != map_.end())
+        bytes_ -= it->second.size();
+    bytes_ += blob.size();
+    map_[key] = blob;
+}
+
+std::size_t
+MemoryStore::entries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return map_.size();
+}
+
+std::uint64_t
+MemoryStore::bytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return bytes_;
+}
+
+void
+MemoryStore::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_.clear();
+    bytes_ = 0;
+}
+
+// --------------------------------------------------------- DiskStore
+
+namespace
+{
+
+/**
+ * Entry file layout (everything after the magic built with
+ * common/serial.hh): magic "MCDA", u64 format version, length-prefixed
+ * key, length-prefixed blob, u64 FNV-1a checksum of all preceding
+ * bytes. The key makes 64-bit-hash file-name collisions detectable
+ * (the stored key simply wins the file; the loser re-reads as a miss
+ * and recomputes), and the trailing checksum catches torn or
+ * bit-rotted files.
+ */
+constexpr char MAGIC[4] = {'M', 'C', 'D', 'A'};
+constexpr std::uint64_t FORMAT_VERSION = 1;
+
+std::string
+hexHash(const std::string &key)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(serial::fnv1a(key)));
+    return buf;
+}
+
+} // namespace
+
+DiskStore::DiskStore(const std::string &root)
+    : root_(root)
+{
+    if (root_.empty())
+        mcd_fatal("DiskStore needs a non-empty root directory");
+    std::error_code ec;
+    fs::create_directories(root_, ec);
+    if (ec || !fs::is_directory(root_))
+        mcd_fatal("cannot create artifact store root '%s': %s",
+                  root_.c_str(), ec.message().c_str());
+}
+
+std::string
+DiskStore::pathFor(const std::string &key) const
+{
+    return (fs::path(root_) / (hexHash(key) + ".mcda")).string();
+}
+
+bool
+DiskStore::get(const std::string &key, std::string &blob)
+{
+    std::ifstream in(pathFor(key), std::ios::binary);
+    if (!in)
+        return false;
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    if (!in.good() && !in.eof())
+        return false;
+
+    if (data.size() < sizeof(MAGIC) + sizeof(std::uint64_t) ||
+        data.compare(0, sizeof(MAGIC), MAGIC, sizeof(MAGIC)) != 0)
+        return false;
+    std::string body = data.substr(
+        sizeof(MAGIC), data.size() - sizeof(MAGIC) - sizeof(std::uint64_t));
+    std::string tail = data.substr(data.size() - sizeof(std::uint64_t));
+    serial::Reader checks(tail);
+    if (checks.readU64() !=
+        serial::fnv1a(data.substr(0, data.size() - sizeof(std::uint64_t))))
+        return false;
+
+    serial::Reader reader(body);
+    if (reader.readU64() != FORMAT_VERSION || !reader.ok())
+        return false;
+    if (reader.readString() != key || !reader.ok())
+        return false; // hash collision with a different key: a miss
+    std::string payload = reader.readString();
+    if (!reader.atEnd())
+        return false;
+    blob = std::move(payload);
+    return true;
+}
+
+void
+DiskStore::put(const std::string &key, const std::string &blob)
+{
+    std::string data(MAGIC, sizeof(MAGIC));
+    std::string body;
+    serial::appendU64(body, FORMAT_VERSION);
+    serial::appendString(body, key);
+    serial::appendString(body, blob);
+    data += body;
+    serial::appendU64(data, serial::fnv1a(data));
+
+    // Unique temp name per writer (pid + process-wide counter), then an
+    // atomic rename: readers never see a partial entry, and same-key
+    // racers overwrite each other with identical bytes.
+    static std::atomic<std::uint64_t> counter{0};
+    fs::path final_path = pathFor(key);
+    fs::path tmp_path = final_path;
+    tmp_path += ".tmp." + std::to_string(::getpid()) + "." +
+                std::to_string(counter.fetch_add(1));
+
+    {
+        std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+        out.write(data.data(),
+                  static_cast<std::streamsize>(data.size()));
+        if (!out.good()) {
+            std::error_code ec;
+            fs::remove(tmp_path, ec);
+            mcd_fatal("cannot write artifact store entry '%s'",
+                      tmp_path.string().c_str());
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp_path, final_path, ec);
+    if (ec) {
+        fs::remove(tmp_path, ec);
+        mcd_fatal("cannot finalize artifact store entry '%s'",
+                  final_path.string().c_str());
+    }
+}
+
+std::size_t
+DiskStore::entries() const
+{
+    std::size_t n = 0;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(root_, ec))
+        if (entry.is_regular_file() &&
+            entry.path().extension() == ".mcda")
+            ++n;
+    return n;
+}
+
+std::uint64_t
+DiskStore::bytes() const
+{
+    std::uint64_t total = 0;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(root_, ec)) {
+        if (!entry.is_regular_file() ||
+            entry.path().extension() != ".mcda")
+            continue;
+        std::error_code size_ec;
+        auto size = entry.file_size(size_ec);
+        // A file can vanish between iteration and stat (another
+        // process pruning); skip it rather than adding uintmax(-1).
+        if (!size_ec)
+            total += size;
+    }
+    return total;
+}
+
+} // namespace mcd

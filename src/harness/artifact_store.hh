@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Pluggable artifact storage: an `ArtifactStore` maps exact cache keys
+ * (the spec `cacheKey()` byte strings) to encoded artifact blobs
+ * (`harness/artifact.hh`). Two backends:
+ *
+ *  - `MemoryStore` — the in-process map; cheap, dies with the process.
+ *  - `DiskStore`   — content-addressed files under a root directory
+ *    (one file per key, named by the key's FNV-1a hash), written
+ *    atomically (temp file + rename) so concurrent figure processes
+ *    can share one store. Each file carries the full key plus a
+ *    checksum; short, corrupt, mismatched-key (hash collision), or
+ *    stale-format entries read as misses, never as wrong values.
+ *
+ * Stores deal only in opaque blobs. The typed layer on top —
+ * `ArtifactCache` in `harness/experiment.hh` — layers a MemoryStore
+ * over an optional DiskStore and handles encode/decode/validation, so
+ * a warm process never re-reads disk and a warm disk store serves
+ * every artifact across processes with zero simulations.
+ */
+
+#ifndef MCD_HARNESS_ARTIFACT_STORE_HH
+#define MCD_HARNESS_ARTIFACT_STORE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace mcd
+{
+
+/** Key -> blob storage. Implementations must be thread-safe. */
+class ArtifactStore
+{
+  public:
+    virtual ~ArtifactStore() = default;
+
+    /** Backend name for reporting ("memory", "disk"). */
+    virtual const char *kind() const = 0;
+
+    /** Fetch the blob stored under `key`; false on miss. */
+    virtual bool get(const std::string &key, std::string &blob) = 0;
+
+    /** Store `blob` under `key`, replacing any existing entry. */
+    virtual void put(const std::string &key, const std::string &blob)
+        = 0;
+
+    /** Entries currently stored (for DiskStore: readable entries). */
+    virtual std::size_t entries() const = 0;
+
+    /** Total stored payload bytes (DiskStore: file bytes on disk). */
+    virtual std::uint64_t bytes() const = 0;
+
+    /** Root directory for disk-backed stores, "" otherwise. */
+    virtual std::string root() const { return ""; }
+};
+
+/** The in-process backend: a mutex-guarded key -> blob map. */
+class MemoryStore : public ArtifactStore
+{
+  public:
+    const char *kind() const override { return "memory"; }
+    bool get(const std::string &key, std::string &blob) override;
+    void put(const std::string &key, const std::string &blob) override;
+    std::size_t entries() const override;
+    std::uint64_t bytes() const override;
+
+    /** Drop everything (tests, ArtifactCache::clear). */
+    void clear();
+
+  private:
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, std::string> map_;
+    std::uint64_t bytes_ = 0;
+};
+
+/**
+ * The persistent backend: one file per key under `root`, named
+ * `<fnv1a(key) as 16 hex digits>.mcda`. The directory is created on
+ * demand; `put` is atomic (unique temp file in the same directory,
+ * then rename), so readers never observe partial writes and
+ * concurrent writers of one key — necessarily writing bit-identical
+ * blobs, by the determinism contract — harmlessly race on the rename.
+ * All failure modes of `get` (missing file, truncation, bad magic or
+ * format, checksum mismatch, a different key sharing the hash) return
+ * false: the caller recomputes and overwrites.
+ */
+class DiskStore : public ArtifactStore
+{
+  public:
+    /** Fatal if `root` is empty or cannot be created. */
+    explicit DiskStore(const std::string &root);
+
+    const char *kind() const override { return "disk"; }
+    bool get(const std::string &key, std::string &blob) override;
+    void put(const std::string &key, const std::string &blob) override;
+    std::size_t entries() const override;
+    std::uint64_t bytes() const override;
+    std::string root() const override { return root_; }
+
+    /** The file a key is stored under (tests, debugging). */
+    std::string pathFor(const std::string &key) const;
+
+  private:
+    std::string root_;
+};
+
+} // namespace mcd
+
+#endif // MCD_HARNESS_ARTIFACT_STORE_HH

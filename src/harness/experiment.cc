@@ -1,6 +1,8 @@
 #include "harness/experiment.hh"
 
+#include "common/logging.hh"
 #include "common/serial.hh"
+#include "harness/artifact.hh"
 #include "harness/parallel_sweep.hh"
 
 namespace mcd
@@ -87,6 +89,43 @@ appendEnergyConfig(std::string &out, const EnergyConfig &e)
     appendDouble(out, e.mainMemoryAccess);
 }
 
+// Methodology + machine. `config.jobs` and `config.store` are
+// intentionally omitted: the determinism contract makes results
+// worker-count independent, and the storage location never changes a
+// value.
+void
+appendRunnerConfig(std::string &out, const RunnerConfig &config)
+{
+    appendU64(out, config.instructions);
+    appendU64(out, config.warmup);
+    appendU64(out, config.clockSeed);
+    appendI64(out, config.jitter ? 1 : 0);
+    appendI64(out, config.intervalInstructions);
+    appendCoreConfig(out, config.core);
+    appendDvfsConfig(out, config.dvfs);
+    appendEnergyConfig(out, config.energy);
+}
+
+/** Typed re-decode used to validate candidate blobs from the store. */
+template <typename T>
+bool
+validBlob(const std::string &blob)
+{
+    T value;
+    return decodeArtifact(blob, value);
+}
+
+/** Decode a blob the cache already validated (failure is a bug). */
+template <typename T>
+T
+decodeValidated(const std::string &blob)
+{
+    T value;
+    if (!decodeArtifact(blob, value))
+        mcd_panic("validated artifact blob failed to decode");
+    return value;
+}
+
 } // namespace
 
 std::string
@@ -95,20 +134,12 @@ ExperimentSpec::cacheKey() const
     std::string key;
     key.reserve(512 + controller.schedule.size() *
                           sizeof(FrequencyVector));
+    appendString(key, "experiment");
     appendString(key, benchmark);
     appendI64(key, static_cast<std::int64_t>(mode));
     appendDouble(key, resolvedStartFreq());
     controller.appendTo(key);
-    // Methodology. `config.jobs` is intentionally omitted: the
-    // determinism contract makes results worker-count independent.
-    appendU64(key, config.instructions);
-    appendU64(key, config.warmup);
-    appendU64(key, config.clockSeed);
-    appendI64(key, config.jitter ? 1 : 0);
-    appendI64(key, config.intervalInstructions);
-    appendCoreConfig(key, config.core);
-    appendDvfsConfig(key, config.dvfs);
-    appendEnergyConfig(key, config.energy);
+    appendRunnerConfig(key, config);
     return key;
 }
 
@@ -116,6 +147,52 @@ std::uint64_t
 ExperimentSpec::hash() const
 {
     return serial::fnv1a(cacheKey());
+}
+
+ExperimentSpec
+ProfileSpec::experimentSpec() const
+{
+    ExperimentSpec spec;
+    spec.benchmark = benchmark;
+    spec.mode = ClockMode::Mcd;
+    spec.controller.name = "profiling";
+    spec.config = config;
+    return spec;
+}
+
+std::string
+ProfileSpec::cacheKey() const
+{
+    std::string key;
+    appendString(key, "profile");
+    appendString(key, benchmark);
+    appendRunnerConfig(key, config);
+    return key;
+}
+
+std::string
+OfflineSearchSpec::cacheKey() const
+{
+    std::string key;
+    appendString(key, "offline_search");
+    appendString(key, benchmark);
+    appendDouble(key, targetDeg);
+    ArtifactTraits<SimStats>::encodePayload(key, mcdBase);
+    ArtifactTraits<std::vector<IntervalProfile>>::encodePayload(
+        key, profile);
+    appendRunnerConfig(key, config);
+    return key;
+}
+
+std::string
+GlobalMatchSpec::cacheKey() const
+{
+    std::string key;
+    appendString(key, "global_match");
+    appendString(key, benchmark);
+    appendI64(key, targetTime);
+    appendRunnerConfig(key, config);
+    return key;
 }
 
 SimStats
@@ -134,76 +211,236 @@ runExperiments(const std::vector<ExperimentSpec> &specs, int jobs)
 {
     ParallelSweep sweep(jobs);
     return sweep.map<SimStats>(specs.size(), [&](std::size_t i) {
-        return ResultCache::instance().getOrRun(specs[i]);
+        return ArtifactCache::instance().getOrRun(specs[i]);
     });
 }
 
-ResultCache &
-ResultCache::instance()
+ArtifactCache &
+ArtifactCache::instance()
 {
-    static ResultCache *cache = new ResultCache();
+    static ArtifactCache *cache = new ArtifactCache();
     return *cache;
 }
 
-SimStats
-ResultCache::getOrRun(const ExperimentSpec &spec)
+std::string
+ArtifactCache::fetch(
+    const std::string &key,
+    const std::function<bool(const std::string &)> &validate,
+    const std::function<std::string()> &build)
 {
-    std::string key = spec.cacheKey();
-    std::shared_ptr<Entry> entry;
+    std::shared_ptr<Inflight> flight;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         ++lookups_;
-        auto &slot = entries_[key];
+        auto &slot = inflight_[key];
         if (!slot)
-            slot = std::make_shared<Entry>();
-        entry = slot;
+            slot = std::make_shared<Inflight>();
+        flight = slot;
     }
     // Concurrent requests for one key block here while the first
-    // caller simulates; the simulation never runs under the map lock,
-    // so distinct specs still fan out in parallel.
-    std::call_once(entry->once, [&] {
-        entry->stats = runExperiment(spec);
+    // caller resolves it; the build never runs under the map lock, so
+    // distinct artifacts still fan out in parallel, and nested
+    // requests (a search's probes) recurse freely.
+    std::call_once(flight->once, [&] {
+        std::string blob;
+        if (memory_.get(key, blob) && validate(blob))
+            return; // published earlier as another artifact's by-product
+        std::shared_ptr<DiskStore> disk;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            disk = disk_;
+        }
+        if (disk && disk->get(key, blob) && validate(blob)) {
+            memory_.put(key, blob); // promote: never re-read disk
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++disk_hits_;
+            return;
+        }
+        blob = build();
+        memory_.put(key, blob);
+        if (disk)
+            disk->put(key, blob);
         std::lock_guard<std::mutex> lock(mutex_);
-        ++runs_;
+        ++computes_;
     });
-    return entry->stats;
+    std::string blob;
+    if (!memory_.get(key, blob))
+        mcd_panic("artifact vanished from the memory layer");
+    return blob;
+}
+
+void
+ArtifactCache::publish(const std::string &key, const std::string &blob)
+{
+    memory_.put(key, blob);
+    std::shared_ptr<DiskStore> disk;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        disk = disk_;
+    }
+    if (disk)
+        disk->put(key, blob);
+}
+
+void
+ArtifactCache::noteSimulation()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++sims_;
+}
+
+SimStats
+ArtifactCache::getOrRun(const ExperimentSpec &spec)
+{
+    attachDiskStore(spec.config.store);
+    std::string blob = fetch(
+        spec.cacheKey(), validBlob<SimStats>, [&] {
+            SimStats stats = runExperiment(spec);
+            noteSimulation();
+            return encodeArtifact(stats);
+        });
+    return decodeValidated<SimStats>(blob);
+}
+
+std::vector<IntervalProfile>
+ArtifactCache::getOrRun(const ProfileSpec &spec)
+{
+    attachDiskStore(spec.config.store);
+    std::string blob = fetch(
+        spec.cacheKey(), validBlob<std::vector<IntervalProfile>>, [&] {
+            // One profiling simulation yields two artifacts: the
+            // interval profile (this key) and the baseline MCD
+            // SimStats, published under the paired experiment key so
+            // requesting both costs one run.
+            ExperimentSpec run = spec.experimentSpec();
+            auto controller =
+                ControllerRegistry::instance().create(run.controller);
+            Runner runner(spec.config);
+            SimStats stats = runner.runWithOptionalController(
+                spec.benchmark, run.mode, run.resolvedStartFreq(),
+                controller.get());
+            noteSimulation();
+            publish(run.cacheKey(), encodeArtifact(stats));
+            return encodeArtifact(
+                dynamic_cast<ProfilingController &>(*controller)
+                    .profile());
+        });
+    return decodeValidated<std::vector<IntervalProfile>>(blob);
+}
+
+OfflineResult
+ArtifactCache::getOrRun(const OfflineSearchSpec &spec)
+{
+    attachDiskStore(spec.config.store);
+    std::string blob = fetch(
+        spec.cacheKey(), validBlob<OfflineResult>, [&] {
+            // The search itself runs no simulation directly: its grid
+            // probes are nested ExperimentSpec requests that memoize
+            // (and count) themselves.
+            Runner runner(spec.config);
+            return encodeArtifact(runner.searchOfflineDynamic(
+                spec.benchmark, spec.targetDeg, spec.mcdBase,
+                spec.profile));
+        });
+    return decodeValidated<OfflineResult>(blob);
+}
+
+GlobalResult
+ArtifactCache::getOrRun(const GlobalMatchSpec &spec)
+{
+    attachDiskStore(spec.config.store);
+    std::string blob = fetch(
+        spec.cacheKey(), validBlob<GlobalResult>, [&] {
+            Runner runner(spec.config);
+            return encodeArtifact(runner.searchGlobalMatching(
+                spec.benchmark, spec.targetTime));
+        });
+    return decodeValidated<GlobalResult>(blob);
+}
+
+void
+ArtifactCache::attachDiskStore(const std::string &root)
+{
+    if (root.empty())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (disk_ && disk_->root() == root)
+        return;
+    disk_ = std::make_shared<DiskStore>(root);
+}
+
+void
+ArtifactCache::detachDiskStore()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    disk_.reset();
 }
 
 std::uint64_t
-ResultCache::lookups() const
+ArtifactCache::lookups() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return lookups_;
 }
 
 std::uint64_t
-ResultCache::hits() const
+ArtifactCache::hits() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return lookups_ - runs_;
+    return lookups_ - computes_;
 }
 
 std::uint64_t
-ResultCache::simulationsRun() const
+ArtifactCache::diskHits() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return runs_;
+    return disk_hits_;
+}
+
+std::uint64_t
+ArtifactCache::simulationsRun() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sims_;
 }
 
 std::size_t
-ResultCache::size() const
+ArtifactCache::size() const
+{
+    return memory_.entries();
+}
+
+std::string
+ArtifactCache::storeRoot() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return entries_.size();
+    return disk_ ? disk_->root() : "";
+}
+
+std::size_t
+ArtifactCache::diskEntries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return disk_ ? disk_->entries() : 0;
+}
+
+std::uint64_t
+ArtifactCache::diskBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return disk_ ? disk_->bytes() : 0;
 }
 
 void
-ResultCache::clear()
+ArtifactCache::clear()
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    entries_.clear();
+    inflight_.clear();
+    memory_.clear();
     lookups_ = 0;
-    runs_ = 0;
+    computes_ = 0;
+    disk_hits_ = 0;
+    sims_ = 0;
 }
 
 } // namespace mcd

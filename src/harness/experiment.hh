@@ -1,25 +1,42 @@
 /**
  * @file
- * The declarative experiment layer. An `ExperimentSpec` fully
- * describes one simulation — scenario name, clock mode, controller
- * spec, methodology (window, seeds, machine configuration) — and the
- * layer executes batches of specs on `ParallelSweep` through a
- * process-wide, spec-keyed `ResultCache`, so a (benchmark, machine)
- * pair that several figures, sweep points, or search probes share
- * simulates exactly once per process.
+ * The declarative experiment layer. A typed request spec fully
+ * describes one experiment product and the layer resolves it through
+ * a process-wide, pluggable artifact cache:
  *
- * The cache key is an exact serialization of every field that can
- * influence the simulation (raw IEEE-754 bytes for doubles, length-
- * prefixed strings); equal keys therefore imply bit-identical runs,
- * and returning the memoized `SimStats` is indistinguishable from
- * re-simulating. `RunnerConfig::jobs` is deliberately excluded — the
- * determinism contract makes results independent of worker count.
+ *   ExperimentSpec    -> SimStats                    (one simulation)
+ *   ProfileSpec       -> std::vector<IntervalProfile> (the off-line
+ *                        profiling pass; publishes the paired baseline
+ *                        SimStats as a second artifact of the same run)
+ *   OfflineSearchSpec -> OfflineResult   (a whole Dynamic-X% search)
+ *   GlobalMatchSpec   -> GlobalResult    (a time-matched global-DVFS
+ *                        calibration search)
+ *
+ * Each spec has an exact, collision-free `cacheKey()`: a namespaced
+ * serialization of every field that can influence the result (raw
+ * IEEE-754 bytes for doubles, length-prefixed strings; see
+ * common/serial.hh). Equal keys therefore imply bit-identical
+ * artifacts, and a cached artifact is indistinguishable from
+ * recomputing. `RunnerConfig::jobs` and `RunnerConfig::store` are
+ * deliberately excluded — the determinism contract makes results
+ * independent of worker count, and the storage location never changes
+ * a value.
+ *
+ * The `ArtifactCache` layers the in-process `MemoryStore` over an
+ * optional persistent `DiskStore` (harness/artifact_store.hh),
+ * selected by `RunnerConfig::store` / the `MCD_STORE` environment
+ * variable / `mcd_cli --store`. Reads hit memory first (a warm
+ * process never re-reads disk), then disk (validated and promoted to
+ * memory), and only then simulate; computed artifacts are written
+ * through to both layers, so a warm disk store reproduces every
+ * figure across processes with zero simulations.
  */
 
 #ifndef MCD_HARNESS_EXPERIMENT_HH
 #define MCD_HARNESS_EXPERIMENT_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -27,6 +44,7 @@
 #include <vector>
 
 #include "control/controller_registry.hh"
+#include "harness/artifact_store.hh"
 #include "harness/runner.hh"
 
 namespace mcd
@@ -47,71 +65,188 @@ struct ExperimentSpec
         return startFreq > 0.0 ? startFreq : config.dvfs.freqMax;
     }
 
-    /** Exact, collision-free ResultCache key. */
+    /** Exact, collision-free artifact key (namespace "experiment"). */
     std::string cacheKey() const;
 
     /** Short display hash of the cache key (FNV-1a, for --json). */
     std::uint64_t hash() const;
 };
 
-/** Run one spec directly, bypassing the cache. */
+/**
+ * The off-line profiling pass of one benchmark: baseline MCD machine,
+ * profiling controller, per-interval activity recorded. Its artifact
+ * is the interval profile; the run's SimStats are published under the
+ * paired `experimentSpec()` key as a by-product, so requesting both
+ * (as Runner::runMcdBaseline does) costs one simulation.
+ */
+struct ProfileSpec
+{
+    std::string benchmark;
+    RunnerConfig config;
+
+    /** The ExperimentSpec of the same run (its SimStats artifact). */
+    ExperimentSpec experimentSpec() const;
+
+    /** Exact, collision-free artifact key (namespace "profile"). */
+    std::string cacheKey() const;
+};
+
+/**
+ * A whole off-line Dynamic-X% margin search. The key embeds the full
+ * baseline stats and interval profile the search tunes against (exact
+ * serializations, not digests), so any change to the inputs is a
+ * different artifact; under the determinism contract both are pure
+ * functions of (benchmark, config), making the embedded copies
+ * redundant but exact.
+ */
+struct OfflineSearchSpec
+{
+    std::string benchmark;
+    double targetDeg = 0.0;              //!< degradation cap
+    SimStats mcdBase{};                  //!< baseline MCD reference
+    std::vector<IntervalProfile> profile; //!< profiling-pass output
+    RunnerConfig config;
+
+    /** Exact, collision-free key (namespace "offline_search"). */
+    std::string cacheKey() const;
+};
+
+/** A time-matched global-DVFS calibration search (ablation driver). */
+struct GlobalMatchSpec
+{
+    std::string benchmark;
+    Tick targetTime = 0; //!< run time the search matches
+    RunnerConfig config;
+
+    /** Exact, collision-free key (namespace "global_match"). */
+    std::string cacheKey() const;
+};
+
+/** Run one ExperimentSpec directly, bypassing the cache. */
 SimStats runExperiment(const ExperimentSpec &spec);
 
 /**
  * Run a batch of specs fanned across ParallelSweep workers (`jobs` as
  * in RunnerConfig::jobs: 0 = default workers, 1 = serial), each
- * resolved through the process-wide ResultCache. Results are in spec
- * order and bit-identical for any worker count; duplicate specs —
- * within the batch or against anything cached earlier in the process —
- * simulate only once.
+ * resolved through the process-wide ArtifactCache. Results are in
+ * spec order and bit-identical for any worker count; duplicate specs
+ * — within the batch or against anything cached earlier in the
+ * process or persisted in the disk store — simulate only once.
  */
 std::vector<SimStats>
 runExperiments(const std::vector<ExperimentSpec> &specs, int jobs = 0);
 
 /**
- * Process-wide SimStats memo, keyed by ExperimentSpec::cacheKey().
- * Thread-safe; concurrent requests for the same key run the
- * simulation once and share the result. `simulationsRun()` is the
- * process-wide run counter: it counts actual simulations, so
- * `lookups() - simulationsRun()` baselines/probes were served from
- * the cache instead of being re-simulated.
+ * The typed artifact cache: spec-keyed storage for every experiment
+ * product, layered memory-over-disk. Thread-safe; concurrent requests
+ * for one key compute the artifact once and share it. Nested requests
+ * are the norm — an OfflineSearchSpec's compute issues dozens of
+ * ExperimentSpec requests for its probes — and every level memoizes,
+ * so `simulationsRun()` counts actual simulator executions only:
+ * `lookups() - hits()` artifacts were computed, of which
+ * `simulationsRun()` required running the simulator.
+ *
+ * `instance()` is the process-wide cache every Runner and bench
+ * consumer resolves through; independently-constructed instances are
+ * for tests (e.g. simulating a cold process against a warm DiskStore).
  */
-class ResultCache
+class ArtifactCache
 {
   public:
-    static ResultCache &instance();
+    ArtifactCache() = default;
+
+    static ArtifactCache &instance();
 
     /** The memoized stats for `spec`, simulating on first request. */
     SimStats getOrRun(const ExperimentSpec &spec);
 
-    /** Total getOrRun calls. */
+    /** The memoized profiling pass (publishes the paired SimStats). */
+    std::vector<IntervalProfile> getOrRun(const ProfileSpec &spec);
+
+    /** The memoized off-line Dynamic-X% search result. */
+    OfflineResult getOrRun(const OfflineSearchSpec &spec);
+
+    /** The memoized time-matched global-DVFS search result. */
+    GlobalResult getOrRun(const GlobalMatchSpec &spec);
+
+    /**
+     * Attach the persistent layer rooted at `root` (created on
+     * demand). No-op when `root` is empty or already attached; a
+     * different root replaces the previous disk layer (the memory
+     * layer is kept). Called automatically by every getOrRun with the
+     * spec's `config.store`, so `MCD_STORE` / `--store` /
+     * `RunnerConfig::store` all funnel through here.
+     */
+    void attachDiskStore(const std::string &root);
+
+    /** Drop the persistent layer (memory layer kept). */
+    void detachDiskStore();
+
+    /** Total getOrRun calls, including nested (probe) requests. */
     std::uint64_t lookups() const;
 
-    /** Cache hits (lookups served without simulating). */
+    /** Lookups served without computing (memory or disk). */
     std::uint64_t hits() const;
+
+    /** Hits served by the disk layer (validated, then promoted). */
+    std::uint64_t diskHits() const;
 
     /** Actual simulations executed — the run counter. */
     std::uint64_t simulationsRun() const;
 
-    /** Distinct specs cached. */
+    /** Distinct artifacts in the memory layer. */
     std::size_t size() const;
 
-    /** Drop all entries and zero the counters (tests). */
+    /** Disk-layer root directory ("" when no disk layer). */
+    std::string storeRoot() const;
+
+    /** Entries in the disk layer (0 when no disk layer). */
+    std::size_t diskEntries() const;
+
+    /** Bytes on disk in the disk layer (0 when no disk layer). */
+    std::uint64_t diskBytes() const;
+
+    /**
+     * Drop the memory layer and zero the counters, keeping any disk
+     * layer attached (tests: this is "start a cold process").
+     */
     void clear();
 
   private:
-    ResultCache() = default;
-
-    struct Entry
+    struct Inflight
     {
         std::once_flag once;
-        SimStats stats{};
     };
 
+    /**
+     * The layered fetch: memory, then validated disk (promoted), then
+     * `build` (written through to both layers). `validate` re-decodes
+     * a candidate blob so corrupt or stale-version disk entries read
+     * as misses. Returns a blob that passed `validate`.
+     */
+    std::string
+    fetch(const std::string &key,
+          const std::function<bool(const std::string &)> &validate,
+          const std::function<std::string()> &build);
+
+    /** Store a by-product blob under `key` in both layers. */
+    void publish(const std::string &key, const std::string &blob);
+
+    /** Count one simulator execution (called from build lambdas). */
+    void noteSimulation();
+
     mutable std::mutex mutex_;
-    std::unordered_map<std::string, std::shared_ptr<Entry>> entries_;
+    std::unordered_map<std::string, std::shared_ptr<Inflight>>
+        inflight_;
+    MemoryStore memory_;
+    // shared_ptr: fetch/publish snapshot the layer and keep it alive
+    // across a long build even if attach/detachDiskStore swaps it out
+    // concurrently.
+    std::shared_ptr<DiskStore> disk_;
     std::uint64_t lookups_ = 0;
-    std::uint64_t runs_ = 0;
+    std::uint64_t computes_ = 0;
+    std::uint64_t disk_hits_ = 0;
+    std::uint64_t sims_ = 0;
 };
 
 } // namespace mcd

@@ -20,6 +20,7 @@ RunnerConfig::applyEnvOverrides()
     warmup = envU64("MCD_WARMUP", warmup, /*min=*/0);
     intervalInstructions = envInt("MCD_INTERVAL", intervalInstructions);
     jobs = envInt("MCD_JOBS", jobs);
+    store = envString("MCD_STORE", store);
 }
 
 Runner::Runner(const RunnerConfig &config)
@@ -70,16 +71,15 @@ SimStats
 Runner::runMcdBaseline(const std::string &bench,
                        std::vector<IntervalProfile> *profile)
 {
-    ControllerSpec spec;
-    spec.name = "profiling";
-    auto controller = ControllerRegistry::instance().create(spec);
-    SimStats stats = runWithOptionalController(
-        bench, ClockMode::Mcd, config_.dvfs.freqMax, controller.get(),
-        {});
+    // Both products are artifacts of one profiling run: the
+    // ProfileSpec resolution publishes the paired SimStats, so the
+    // experimentSpec() request below never simulates a second time.
+    ProfileSpec spec;
+    spec.benchmark = bench;
+    spec.config = config_;
     if (profile)
-        *profile =
-            dynamic_cast<ProfilingController &>(*controller).profile();
-    return stats;
+        *profile = ArtifactCache::instance().getOrRun(spec);
+    return ArtifactCache::instance().getOrRun(spec.experimentSpec());
 }
 
 SimStats
@@ -123,6 +123,21 @@ Runner::runOfflineDynamic(const std::string &bench, double target_deg,
                           const SimStats &mcd_base,
                           const std::vector<IntervalProfile> &profile)
 {
+    OfflineSearchSpec spec;
+    spec.benchmark = bench;
+    spec.targetDeg = target_deg;
+    spec.mcdBase = mcd_base;
+    spec.profile = profile;
+    spec.config = config_;
+    return ArtifactCache::instance().getOrRun(spec);
+}
+
+OfflineResult
+Runner::searchOfflineDynamic(
+    const std::string &bench, double target_deg,
+    const SimStats &mcd_base,
+    const std::vector<IntervalProfile> &profile)
+{
     DvfsModel dvfs(config_.dvfs);
     double t_base = static_cast<double>(mcd_base.time);
 
@@ -132,7 +147,7 @@ Runner::runOfflineDynamic(const std::string &bench, double target_deg,
 
     // Every probe is an independent schedule replay of the same
     // benchmark; batches fan out across the sweep engine's workers
-    // through the process-wide ResultCache, so a margin probed by an
+    // through the process-wide ArtifactCache, so a margin probed by an
     // earlier search of the same benchmark (the coarse grids of
     // Dynamic-1% and Dynamic-5% coincide) replays only once. Probes
     // deliberately keep this runner's clock seed (no per-job
@@ -313,7 +328,7 @@ cachedSynchronous(const RunnerConfig &config, const std::string &bench,
     spec.mode = ClockMode::Synchronous;
     spec.startFreq = freq;
     spec.config = config;
-    return ResultCache::instance().getOrRun(spec);
+    return ArtifactCache::instance().getOrRun(spec);
 }
 
 Hertz
@@ -336,6 +351,17 @@ Runner::runGlobalAtDegradation(const std::string &bench,
 
 GlobalResult
 Runner::runGlobalMatching(const std::string &bench, Tick target_time)
+{
+    GlobalMatchSpec spec;
+    spec.benchmark = bench;
+    spec.targetTime = target_time;
+    spec.config = config_;
+    return ArtifactCache::instance().getOrRun(spec);
+}
+
+GlobalResult
+Runner::searchGlobalMatching(const std::string &bench,
+                             Tick target_time)
 {
     const Hertz f_max = config_.dvfs.freqMax;
     const Hertz f_min = config_.dvfs.freqMin;

@@ -59,8 +59,18 @@ struct RunnerConfig
      */
     int jobs = 0;
 
-    /** Apply MCD_INSNS / MCD_WARMUP / MCD_INTERVAL / MCD_JOBS env
-     *  overrides. */
+    /**
+     * Root directory of the persistent artifact store ("" = in-memory
+     * only). When set — directly, via `MCD_STORE`, or via `mcd_cli
+     * --store` — every artifact request made with this config attaches
+     * the process-wide ArtifactCache's disk layer to it, so results
+     * persist across processes. Like `jobs`, this is excluded from
+     * cache keys: where a result is stored never changes its value.
+     */
+    std::string store;
+
+    /** Apply MCD_INSNS / MCD_WARMUP / MCD_INTERVAL / MCD_JOBS /
+     *  MCD_STORE env overrides. */
     void applyEnvOverrides();
 };
 
@@ -111,6 +121,10 @@ class Runner
     /**
      * Baseline MCD processor (all domains at maximum). Optionally
      * records the per-interval profile used by the off-line algorithm.
+     * Both products — the SimStats and the profile — resolve through
+     * the artifact store (ExperimentSpec / ProfileSpec), so a warm
+     * store serves them with zero simulations and a cold one pays a
+     * single profiling run for the pair.
      */
     SimStats runMcdBaseline(const std::string &bench,
                             std::vector<IntervalProfile> *profile =
@@ -140,14 +154,27 @@ class Runner
 
     /**
      * Off-line Dynamic-X% comparator: tune the schedule margin so the
-     * replayed run degrades by `target_deg` over `mcd_base`, using
-     * parallel grid batches (coarse grid, bracketed refinement, then
-     * per-domain refinement) fanned across the sweep workers. Probe
-     * runs go through the process-wide ResultCache, so probes shared
-     * between searches (e.g. the coarse grid of Dynamic-1% and
-     * Dynamic-5%) simulate once.
+     * replayed run degrades by `target_deg` over `mcd_base`. The whole
+     * search result is an OfflineSearchSpec artifact — a warm store
+     * returns it without probing at all — and on a miss the raw
+     * search (searchOfflineDynamic) runs, whose probes are themselves
+     * ExperimentSpec artifacts, so probes shared between searches
+     * (e.g. the coarse grid of Dynamic-1% and Dynamic-5%) simulate
+     * once and persist.
      */
     OfflineResult runOfflineDynamic(
+        const std::string &bench, double target_deg,
+        const SimStats &mcd_base,
+        const std::vector<IntervalProfile> &profile);
+
+    /**
+     * The raw off-line search driver behind runOfflineDynamic,
+     * bypassing the search-result memo (probe runs still resolve
+     * through the store): parallel grid batches — coarse grid,
+     * bracketed refinement, then per-domain refinement — fanned
+     * across the sweep workers.
+     */
+    OfflineResult searchOfflineDynamic(
         const std::string &bench, double target_deg,
         const SimStats &mcd_base,
         const std::vector<IntervalProfile> &profile);
@@ -174,9 +201,16 @@ class Runner
      * two calibration runs plus one secant refinement. Memory-bound
      * applications barely slow down with frequency, so this
      * interpretation lets global DVFS cut frequency much deeper.
+     * The search result is a GlobalMatchSpec artifact; a warm store
+     * skips the calibration runs entirely.
      */
     GlobalResult runGlobalMatching(const std::string &bench,
                                    Tick target_time);
+
+    /** The raw calibration search behind runGlobalMatching (its
+     *  synchronous probe runs still resolve through the store). */
+    GlobalResult searchGlobalMatching(const std::string &bench,
+                                      Tick target_time);
 
   private:
     RunnerConfig config_;

@@ -75,7 +75,12 @@ parseKnobs(const std::string &name, const std::string &text,
  * semantics). With phases=N the program alternates N phases around the
  * requested memory-boundedness (+/- 0.3, clamped), giving the
  * controller a genuine phase structure to track; the phase period is
- * horizon/N.
+ * horizon/N. With burst=B > 0 the program instead alternates N
+ * busy/idle pairs: each period spends share B in an io-like idle
+ * phase — serial pointer-chasing over a footprint far beyond L2, so
+ * the core mostly waits — before the busy mix (at the requested `mem`)
+ * resumes, the abrupt activity swings that stress a controller's
+ * attack and decay paths.
  */
 BenchmarkSpec
 buildSynthetic(const std::string &name)
@@ -83,7 +88,8 @@ buildSynthetic(const std::string &name)
     const std::string prefix = "synthetic:";
     std::string text = name.substr(prefix.size());
     auto knobs = parseKnobs(
-        name, text, {"mem", "ilp", "phases", "fp", "branch", "seed"});
+        name, text,
+        {"mem", "ilp", "phases", "burst", "fp", "branch", "seed"});
 
     double mem =
         requireRange(name, "mem", knobOr(knobs, "mem", 0.3), 0.0, 1.0);
@@ -91,6 +97,8 @@ buildSynthetic(const std::string &name)
         name, "ilp", knobOr(knobs, "ilp", 8.0), 1.0, 64.0));
     int phases = static_cast<int>(requireRange(
         name, "phases", knobOr(knobs, "phases", 1.0), 1.0, 64.0));
+    double burst = requireRange(name, "burst",
+                                knobOr(knobs, "burst", 0.0), 0.0, 1.0);
     double fp =
         requireRange(name, "fp", knobOr(knobs, "fp", 0.0), 0.0, 1.0);
     double branch = requireRange(name, "branch",
@@ -120,11 +128,43 @@ buildSynthetic(const std::string &name)
         return phase;
     };
 
+    // The io-like idle phase burst > 0 interleaves: every load is a
+    // serial pointer chase over a footprint far beyond L2, with no
+    // exploitable ILP, so the core sits nearly idle waiting on main
+    // memory — the synthetic stand-in for a thread blocked on io.
+    auto makeIdlePhase = [&] {
+        PhaseSpec idle;
+        idle.loadFrac = 0.50;
+        idle.storeFrac = 0.02;
+        idle.branchFrac = 0.06;
+        idle.fpFrac = 0.0;
+        idle.branchNoise = 0.1;
+        idle.depWindow = 1;
+        idle.chaseFrac = 1.0;
+        idle.dataFootprint = 24 * 1024 * 1024;
+        idle.loopLength = 16;
+        idle.loopIterations = 128;
+        idle.codeLoops = 1;
+        return idle;
+    };
+
     BenchmarkSpec spec;
     spec.name = name;
     spec.suite = "synthetic";
     spec.seed = seed;
-    if (phases == 1) {
+    if (burst > 0.0) {
+        // N busy/idle pairs; each period is horizon/phases with share
+        // `burst` of it idle. Zero busy weight (burst = 1) is legal:
+        // the generator skips zero-length phases.
+        for (int i = 0; i < phases; ++i) {
+            PhaseSpec busy = makePhase(mem);
+            busy.weight = (1.0 - burst) / phases;
+            spec.phases.push_back(busy);
+            PhaseSpec idle = makeIdlePhase();
+            idle.weight = burst / phases;
+            spec.phases.push_back(idle);
+        }
+    } else if (phases == 1) {
         spec.phases.push_back(makePhase(mem));
     } else {
         for (int i = 0; i < phases; ++i) {
@@ -150,7 +190,8 @@ ScenarioRegistry::instance()
             r->add(BenchmarkFactory::paperSpec(name));
         r->addFamily("synthetic:",
                      "parametric workload: mem=[0..1], ilp=[1..64], "
-                     "phases=[1..64], fp=[0..1], branch=[0..1], seed",
+                     "phases=[1..64], burst=[0..1] (io-like idle/burst "
+                     "alternation), fp=[0..1], branch=[0..1], seed",
                      buildSynthetic);
         return r;
     }();

@@ -19,6 +19,12 @@
  *       phases  [1..64] alternating busy/memory phase count; the
  *                       phase period is horizon/phases (default 1:
  *                       one uniform phase)
+ *       burst   [0..1]  io-like idle/burst alternation: the share of
+ *                       each phase period spent in an "idle" phase of
+ *                       serial pointer-chasing over a huge footprint
+ *                       (the core mostly waits, as if blocked on io)
+ *                       before the busy mix resumes   (default 0:
+ *                       no idle phases)
  *       fp      [0..1]  floating-point fraction      (default 0)
  *       branch  [0..1]  data-branch unpredictability (default 0.25)
  *       seed    integer workload RNG seed            (default: from

@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Tests for the pluggable artifact stores and the layered
+ * ArtifactCache: MemoryStore/DiskStore blob semantics, disk
+ * persistence across "processes" (independent cache instances over
+ * one store root), corruption / version-mismatch / key-collision
+ * entries reading as misses that recompute and heal, and the
+ * one-simulation-two-artifacts contract of the profiling pass.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "harness/artifact.hh"
+#include "harness/artifact_store.hh"
+#include "harness/experiment.hh"
+
+namespace mcd
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+class StoreTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        root_ = (fs::temp_directory_path() /
+                 (std::string("mcd_store_test.") + info->name() + "." +
+                  std::to_string(::getpid())))
+                    .string();
+        fs::remove_all(root_);
+    }
+
+    void TearDown() override { fs::remove_all(root_); }
+
+    /** Flip one byte in the middle of a store entry file. */
+    static void
+    corruptFile(const std::string &path)
+    {
+        std::fstream f(path, std::ios::in | std::ios::out |
+                                 std::ios::binary);
+        ASSERT_TRUE(f.good()) << path;
+        f.seekg(0, std::ios::end);
+        auto size = static_cast<std::streamoff>(f.tellg());
+        ASSERT_GT(size, 0);
+        f.seekg(size / 2);
+        char c = 0;
+        f.read(&c, 1);
+        f.seekp(size / 2);
+        c = static_cast<char>(c ^ 0x5a);
+        f.write(&c, 1);
+    }
+
+    ExperimentSpec
+    tinySpec(const std::string &bench = "gsm") const
+    {
+        ExperimentSpec spec;
+        spec.benchmark = bench;
+        spec.config.instructions = 3000;
+        spec.config.warmup = 500;
+        spec.config.intervalInstructions = 500;
+        spec.config.store = root_;
+        return spec;
+    }
+
+    std::string root_;
+};
+
+// ----------------------------------------------------------- backends
+
+TEST_F(StoreTest, MemoryStoreBlobSemantics)
+{
+    MemoryStore store;
+    std::string blob;
+    EXPECT_FALSE(store.get("k", blob));
+    EXPECT_EQ(store.entries(), 0u);
+
+    store.put("k", "abc");
+    ASSERT_TRUE(store.get("k", blob));
+    EXPECT_EQ(blob, "abc");
+    EXPECT_EQ(store.entries(), 1u);
+    EXPECT_EQ(store.bytes(), 3u);
+
+    store.put("k", "defgh"); // replace, byte count follows
+    ASSERT_TRUE(store.get("k", blob));
+    EXPECT_EQ(blob, "defgh");
+    EXPECT_EQ(store.entries(), 1u);
+    EXPECT_EQ(store.bytes(), 5u);
+
+    store.clear();
+    EXPECT_FALSE(store.get("k", blob));
+    EXPECT_EQ(store.bytes(), 0u);
+}
+
+TEST_F(StoreTest, DiskStoreRoundTripsAcrossInstances)
+{
+    std::string blob;
+    {
+        DiskStore store(root_);
+        EXPECT_FALSE(store.get("key-a", blob));
+        store.put("key-a", "payload-a");
+        store.put("key-b", std::string("\x00\x01\xff", 3));
+    }
+    DiskStore reopened(root_); // a new process, same root
+    ASSERT_TRUE(reopened.get("key-a", blob));
+    EXPECT_EQ(blob, "payload-a");
+    ASSERT_TRUE(reopened.get("key-b", blob));
+    EXPECT_EQ(blob, std::string("\x00\x01\xff", 3));
+    EXPECT_EQ(reopened.entries(), 2u);
+    EXPECT_GT(reopened.bytes(), 0u);
+    EXPECT_EQ(reopened.root(), root_);
+}
+
+TEST_F(StoreTest, DiskStoreCorruptEntriesReadAsMisses)
+{
+    DiskStore store(root_);
+    store.put("key", "a perfectly good payload");
+
+    corruptFile(store.pathFor("key"));
+    std::string blob;
+    EXPECT_FALSE(store.get("key", blob));
+
+    // Truncation is also a miss, never a short read.
+    store.put("key", "a perfectly good payload");
+    fs::resize_file(store.pathFor("key"), 10);
+    EXPECT_FALSE(store.get("key", blob));
+
+    // And an entry healthy again reads fine.
+    store.put("key", "recomputed");
+    ASSERT_TRUE(store.get("key", blob));
+    EXPECT_EQ(blob, "recomputed");
+}
+
+TEST_F(StoreTest, DiskStoreDetectsFileNameCollisions)
+{
+    // Simulate two keys whose 64-bit hashes collide by planting key
+    // A's file at key B's path: the stored key disagrees with the
+    // requested one, so B must miss (and A's own path still hits).
+    DiskStore store(root_);
+    store.put("key-a", "payload-a");
+    fs::copy_file(store.pathFor("key-a"), store.pathFor("key-b"));
+
+    std::string blob;
+    EXPECT_FALSE(store.get("key-b", blob));
+    ASSERT_TRUE(store.get("key-a", blob));
+    EXPECT_EQ(blob, "payload-a");
+}
+
+// ------------------------------------------------------ layered cache
+
+TEST_F(StoreTest, WarmDiskStoreServesAColdProcessWithZeroSimulations)
+{
+    ExperimentSpec spec = tinySpec();
+
+    ArtifactCache cold;
+    SimStats first = cold.getOrRun(spec);
+    EXPECT_EQ(cold.simulationsRun(), 1u);
+    EXPECT_EQ(cold.diskHits(), 0u);
+    EXPECT_EQ(cold.diskEntries(), 1u);
+
+    // An independent cache over the same root is a new process: the
+    // artifact comes back from disk, bit-identical, with no
+    // simulation, and promotion means the second request in the warm
+    // process never re-reads disk.
+    ArtifactCache warm;
+    SimStats second = warm.getOrRun(spec);
+    EXPECT_EQ(warm.simulationsRun(), 0u);
+    EXPECT_EQ(warm.diskHits(), 1u);
+    EXPECT_EQ(warm.hits(), 1u);
+    warm.getOrRun(spec);
+    EXPECT_EQ(warm.diskHits(), 1u); // memory layer, not disk
+    EXPECT_EQ(warm.hits(), 2u);
+
+    EXPECT_EQ(first.time, second.time);
+    EXPECT_EQ(first.chipEnergy, second.chipEnergy);
+    EXPECT_EQ(first.feCycles, second.feCycles);
+    EXPECT_EQ(first.domainEnergy, second.domainEnergy);
+}
+
+TEST_F(StoreTest, CorruptDiskEntryMissesAndReruns)
+{
+    ExperimentSpec spec = tinySpec();
+
+    ArtifactCache first;
+    SimStats reference = first.getOrRun(spec);
+    corruptFile(DiskStore(root_).pathFor(spec.cacheKey()));
+
+    ArtifactCache rerun;
+    SimStats healed = rerun.getOrRun(spec);
+    EXPECT_EQ(rerun.simulationsRun(), 1u); // miss: re-simulated
+    EXPECT_EQ(rerun.diskHits(), 0u);
+    EXPECT_EQ(healed.time, reference.time);
+    EXPECT_EQ(healed.chipEnergy, reference.chipEnergy);
+
+    // The rerun healed the entry: the next process hits again.
+    ArtifactCache after;
+    after.getOrRun(spec);
+    EXPECT_EQ(after.simulationsRun(), 0u);
+    EXPECT_EQ(after.diskHits(), 1u);
+}
+
+TEST_F(StoreTest, VersionMismatchedEntryMissesAndReruns)
+{
+    ExperimentSpec spec = tinySpec();
+
+    ArtifactCache first;
+    SimStats reference = first.getOrRun(spec);
+
+    // Rewrite the entry as a valid store file whose artifact blob
+    // carries a bumped version: the envelope reads fine, the typed
+    // decode refuses, and the cache recomputes.
+    std::string blob;
+    {
+        DiskStore store(root_);
+        ASSERT_TRUE(store.get(spec.cacheKey(), blob));
+        std::size_t version_at =
+            sizeof(std::uint64_t) + std::string("sim_stats").size();
+        blob[version_at] = 9;
+        store.put(spec.cacheKey(), blob);
+    }
+
+    ArtifactCache rerun;
+    SimStats healed = rerun.getOrRun(spec);
+    EXPECT_EQ(rerun.simulationsRun(), 1u);
+    EXPECT_EQ(rerun.diskHits(), 0u);
+    EXPECT_EQ(healed.time, reference.time);
+}
+
+TEST_F(StoreTest, ProfilingPassYieldsBothArtifactsFromOneSimulation)
+{
+    ProfileSpec spec;
+    spec.benchmark = "gsm";
+    spec.config = tinySpec().config;
+
+    ArtifactCache cold;
+    auto profile = cold.getOrRun(spec);
+    SimStats stats = cold.getOrRun(spec.experimentSpec());
+    EXPECT_FALSE(profile.empty());
+    EXPECT_EQ(cold.simulationsRun(), 1u); // the pair cost one run
+    EXPECT_EQ(cold.diskEntries(), 2u);    // both persisted
+
+    // A cold process finds both on disk.
+    ArtifactCache warm;
+    auto profile2 = warm.getOrRun(spec);
+    SimStats stats2 = warm.getOrRun(spec.experimentSpec());
+    EXPECT_EQ(warm.simulationsRun(), 0u);
+    EXPECT_EQ(warm.diskHits(), 2u);
+    ASSERT_EQ(profile2.size(), profile.size());
+    for (std::size_t i = 0; i < profile.size(); ++i) {
+        EXPECT_EQ(profile2[i].instructions, profile[i].instructions);
+        EXPECT_EQ(profile2[i].ipc, profile[i].ipc);
+        EXPECT_EQ(profile2[i].queueUtilization,
+                  profile[i].queueUtilization);
+    }
+    EXPECT_EQ(stats2.time, stats.time);
+    EXPECT_EQ(stats2.chipEnergy, stats.chipEnergy);
+}
+
+TEST_F(StoreTest, OfflineSearchResultPersistsAcrossProcesses)
+{
+    // Through the singleton (Runner resolves via instance()): warm
+    // disk must serve the whole search — result and probes — with
+    // zero simulations after a clear() "process restart".
+    ArtifactCache &cache = ArtifactCache::instance();
+    cache.clear();
+    cache.detachDiskStore();
+
+    RunnerConfig config = tinySpec().config;
+    Runner runner(config);
+    std::vector<IntervalProfile> profile;
+    SimStats mcd = runner.runMcdBaseline("gsm", &profile);
+    OfflineResult cold =
+        runner.runOfflineDynamic("gsm", 0.05, mcd, profile);
+    EXPECT_GT(cache.simulationsRun(), 0u);
+
+    cache.clear(); // cold process, warm disk
+    std::vector<IntervalProfile> profile2;
+    SimStats mcd2 = runner.runMcdBaseline("gsm", &profile2);
+    OfflineResult warm =
+        runner.runOfflineDynamic("gsm", 0.05, mcd2, profile2);
+    EXPECT_EQ(cache.simulationsRun(), 0u);
+    EXPECT_GT(cache.diskHits(), 0u);
+    EXPECT_EQ(warm.margin, cold.margin);
+    EXPECT_EQ(warm.achievedDeg, cold.achievedDeg);
+    EXPECT_EQ(warm.stats.time, cold.stats.time);
+    EXPECT_EQ(mcd2.time, mcd.time);
+
+    cache.clear();
+    cache.detachDiskStore();
+}
+
+TEST_F(StoreTest, GlobalMatchResultPersistsAcrossProcesses)
+{
+    ArtifactCache &cache = ArtifactCache::instance();
+    cache.clear();
+    cache.detachDiskStore();
+
+    RunnerConfig config = tinySpec().config;
+    Runner runner(config);
+    SimStats sync = runner.runSynchronous("gsm", config.dvfs.freqMax);
+    Tick target = static_cast<Tick>(
+        static_cast<double>(sync.time) * 1.05);
+    GlobalResult cold = runner.runGlobalMatching("gsm", target);
+    EXPECT_GT(cache.simulationsRun(), 0u);
+
+    cache.clear();
+    GlobalResult warm = runner.runGlobalMatching("gsm", target);
+    EXPECT_EQ(cache.simulationsRun(), 0u);
+    EXPECT_EQ(warm.freq, cold.freq);
+    EXPECT_EQ(warm.stats.time, cold.stats.time);
+
+    cache.clear();
+    cache.detachDiskStore();
+}
+
+} // namespace
+} // namespace mcd

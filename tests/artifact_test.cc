@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Tests for the artifact serialization contract
+ * (harness/artifact.hh): golden-byte encodings — the hex constants
+ * were computed independently of the C++ encoders, so any accidental
+ * field reorder, width change, or endianness drift fails loudly —
+ * exact round trips for every artifact type, and decode rejection of
+ * wrong types, wrong versions, truncation, and trailing garbage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/artifact.hh"
+
+namespace mcd
+{
+namespace
+{
+
+SimStats
+goldenStats()
+{
+    SimStats s;
+    s.instructions = 7;
+    s.feCycles = 9;
+    s.time = 1234567;
+    s.chipEnergy = 1.5;
+    s.cpi = 2.25;
+    s.epi = 0.125;
+    s.branches = 3;
+    s.mispredicts = 1;
+    s.loads = 4;
+    s.stores = 2;
+    s.l1dMisses = 5;
+    s.l2Misses = 6;
+    s.domainEnergy = {0.5, 1.0, 1.5, 2.0};
+    return s;
+}
+
+std::vector<IntervalProfile>
+goldenProfile()
+{
+    IntervalProfile p;
+    p.instructions = 10;
+    p.ipc = 1.75;
+    p.busyFraction = {0.5, 0.25, 0.125};
+    p.queueUtilization = {1.0, 2.0, 3.0};
+    p.avgOccupancy = {4.0, 5.0, 6.0};
+    p.issued = {7, 8, 9};
+    p.cycles = {10, 11, 12};
+    return {p};
+}
+
+std::string
+hex(const std::string &bytes)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    for (unsigned char c : bytes) {
+        out += digits[c >> 4];
+        out += digits[c & 0xf];
+    }
+    return out;
+}
+
+void
+expectStatsEqual(const SimStats &a, const SimStats &b)
+{
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.feCycles, b.feCycles);
+    EXPECT_EQ(a.time, b.time);
+    EXPECT_EQ(a.chipEnergy, b.chipEnergy);
+    EXPECT_EQ(a.cpi, b.cpi);
+    EXPECT_EQ(a.epi, b.epi);
+    EXPECT_EQ(a.branches, b.branches);
+    EXPECT_EQ(a.mispredicts, b.mispredicts);
+    EXPECT_EQ(a.loads, b.loads);
+    EXPECT_EQ(a.stores, b.stores);
+    EXPECT_EQ(a.l1dMisses, b.l1dMisses);
+    EXPECT_EQ(a.l2Misses, b.l2Misses);
+    EXPECT_EQ(a.domainEnergy, b.domainEnergy);
+}
+
+// --------------------------------------------------------- golden bytes
+
+TEST(Artifact, SimStatsGoldenBytes)
+{
+    EXPECT_EQ(
+        hex(encodeArtifact(goldenStats())),
+        "090000000000000073696d5f7374617473010000000000000007000000000000"
+        "00090000000000000087d6120000000000000000000000f83f00000000000002"
+        "40000000000000c03f0300000000000000010000000000000004000000000000"
+        "00020000000000000005000000000000000600000000000000000000000000e0"
+        "3f000000000000f03f000000000000f83f0000000000000040");
+}
+
+TEST(Artifact, IntervalProfilesGoldenBytes)
+{
+    EXPECT_EQ(
+        hex(encodeArtifact(goldenProfile())),
+        "1100000000000000696e74657276616c5f70726f66696c657301000000000000"
+        "0001000000000000000a00000000000000000000000000fc3f000000000000e0"
+        "3f000000000000f03f000000000000104007000000000000000a000000000000"
+        "00000000000000d03f0000000000000040000000000000144008000000000000"
+        "000b00000000000000000000000000c03f000000000000084000000000000018"
+        "4009000000000000000c00000000000000");
+}
+
+TEST(Artifact, OfflineResultGoldenBytes)
+{
+    OfflineResult r;
+    r.stats = goldenStats();
+    r.margin = 0.375;
+    r.achievedDeg = 0.0625;
+    EXPECT_EQ(
+        hex(encodeArtifact(r)),
+        "0e000000000000006f66666c696e655f726573756c7401000000000000000700"
+        "000000000000090000000000000087d6120000000000000000000000f83f0000"
+        "000000000240000000000000c03f030000000000000001000000000000000400"
+        "0000000000000200000000000000050000000000000006000000000000000000"
+        "00000000e03f000000000000f03f000000000000f83f00000000000000400000"
+        "00000000d83f000000000000b03f");
+}
+
+TEST(Artifact, GlobalResultGoldenBytes)
+{
+    GlobalResult r;
+    r.stats = goldenStats();
+    r.freq = 1.0e9;
+    EXPECT_EQ(
+        hex(encodeArtifact(r)),
+        "0d00000000000000676c6f62616c5f726573756c740100000000000000070000"
+        "0000000000090000000000000087d6120000000000000000000000f83f000000"
+        "0000000240000000000000c03f03000000000000000100000000000000040000"
+        "0000000000020000000000000005000000000000000600000000000000000000"
+        "000000e03f000000000000f03f000000000000f83f0000000000000040000000"
+        "0065cdcd41");
+}
+
+// ---------------------------------------------------------- round trips
+
+TEST(Artifact, SimStatsRoundTripIsExact)
+{
+    SimStats back;
+    ASSERT_TRUE(decodeArtifact(encodeArtifact(goldenStats()), back));
+    expectStatsEqual(goldenStats(), back);
+}
+
+TEST(Artifact, IntervalProfilesRoundTripIsExact)
+{
+    std::vector<IntervalProfile> profile = goldenProfile();
+    // A second, different interval exercises the count prefix.
+    profile.push_back(profile[0]);
+    profile[1].instructions = 11;
+    profile[1].busyFraction[2] = 0.875;
+
+    std::vector<IntervalProfile> back;
+    ASSERT_TRUE(decodeArtifact(encodeArtifact(profile), back));
+    ASSERT_EQ(back.size(), profile.size());
+    for (std::size_t i = 0; i < profile.size(); ++i) {
+        EXPECT_EQ(back[i].instructions, profile[i].instructions);
+        EXPECT_EQ(back[i].ipc, profile[i].ipc);
+        EXPECT_EQ(back[i].busyFraction, profile[i].busyFraction);
+        EXPECT_EQ(back[i].queueUtilization,
+                  profile[i].queueUtilization);
+        EXPECT_EQ(back[i].avgOccupancy, profile[i].avgOccupancy);
+        EXPECT_EQ(back[i].issued, profile[i].issued);
+        EXPECT_EQ(back[i].cycles, profile[i].cycles);
+    }
+
+    std::vector<IntervalProfile> empty, empty_back = goldenProfile();
+    ASSERT_TRUE(decodeArtifact(encodeArtifact(empty), empty_back));
+    EXPECT_TRUE(empty_back.empty());
+}
+
+TEST(Artifact, OfflineAndGlobalResultsRoundTripExactly)
+{
+    OfflineResult off;
+    off.stats = goldenStats();
+    off.margin = 0.12345;
+    off.achievedDeg = -0.0009765625;
+    OfflineResult off_back;
+    ASSERT_TRUE(decodeArtifact(encodeArtifact(off), off_back));
+    expectStatsEqual(off.stats, off_back.stats);
+    EXPECT_EQ(off_back.margin, off.margin);
+    EXPECT_EQ(off_back.achievedDeg, off.achievedDeg);
+
+    GlobalResult glob;
+    glob.stats = goldenStats();
+    glob.freq = 0.755e9;
+    GlobalResult glob_back;
+    ASSERT_TRUE(decodeArtifact(encodeArtifact(glob), glob_back));
+    expectStatsEqual(glob.stats, glob_back.stats);
+    EXPECT_EQ(glob_back.freq, glob.freq);
+}
+
+// ----------------------------------------------------------- rejection
+
+TEST(Artifact, DecodeRejectsWrongType)
+{
+    // A SimStats blob must not decode as any other artifact type.
+    std::string blob = encodeArtifact(goldenStats());
+    OfflineResult off;
+    EXPECT_FALSE(decodeArtifact(blob, off));
+    GlobalResult glob;
+    EXPECT_FALSE(decodeArtifact(blob, glob));
+    std::vector<IntervalProfile> profile;
+    EXPECT_FALSE(decodeArtifact(blob, profile));
+}
+
+TEST(Artifact, DecodeRejectsWrongVersion)
+{
+    // Bump the version field (the u64 right after the length-prefixed
+    // type name): a future-format blob must read as a miss.
+    std::string blob = encodeArtifact(goldenStats());
+    std::size_t version_at =
+        sizeof(std::uint64_t) + std::string("sim_stats").size();
+    blob[version_at] = 2;
+    SimStats back;
+    EXPECT_FALSE(decodeArtifact(blob, back));
+}
+
+TEST(Artifact, DecodeRejectsTruncationAndTrailingGarbage)
+{
+    std::string blob = encodeArtifact(goldenProfile());
+    SimStats unused;
+    std::vector<IntervalProfile> back;
+
+    EXPECT_FALSE(decodeArtifact(std::string(), unused));
+    EXPECT_FALSE(
+        decodeArtifact(blob.substr(0, blob.size() - 1), back));
+    EXPECT_FALSE(decodeArtifact(blob.substr(0, 4), back));
+    EXPECT_FALSE(decodeArtifact(blob + '\0', back));
+}
+
+TEST(Artifact, ReaderFailureLatchesAndZeroes)
+{
+    std::string bytes;
+    serial::appendU64(bytes, 42);
+    serial::Reader reader(bytes);
+    EXPECT_EQ(reader.readU64(), 42u);
+    EXPECT_TRUE(reader.atEnd());
+    EXPECT_EQ(reader.readU64(), 0u); // past the end: latches !ok
+    EXPECT_FALSE(reader.ok());
+    EXPECT_FALSE(reader.atEnd());
+    EXPECT_EQ(reader.readDouble(), 0.0);
+    EXPECT_EQ(reader.readString(), "");
+}
+
+} // namespace
+} // namespace mcd

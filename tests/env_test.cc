@@ -106,6 +106,23 @@ TEST_F(EnvTest, IntRejectsValuesAboveIntRange)
     EXPECT_EQ(envInt64(VAR, 7), 4294967297);
 }
 
+TEST_F(EnvTest, StringRejectsEmptyAndWhitespace)
+{
+    // MCD_STORE goes through envString: a blank root is a typo, not a
+    // request for a store rooted at "" or at "   ".
+    EXPECT_EQ(envString(VAR, "fallback"), "fallback");
+    EXPECT_EQ(envString(VAR), "");
+    set("");
+    EXPECT_EQ(envString(VAR, "fallback"), "fallback");
+    set("   ");
+    EXPECT_EQ(envString(VAR, "fallback"), "fallback");
+    set("\t \n");
+    EXPECT_EQ(envString(VAR, "fallback"), "fallback");
+    // A real value comes back verbatim, inner spaces and all.
+    set("/tmp/mcd store");
+    EXPECT_EQ(envString(VAR, "fallback"), "/tmp/mcd store");
+}
+
 TEST(SplitList, Basics)
 {
     EXPECT_EQ(splitList("a,b"), (std::vector<std::string>{"a", "b"}));

@@ -1,7 +1,7 @@
 /**
  * @file
  * Tests for the declarative experiment layer: ExperimentSpec cache
- * keys, the ControllerRegistry, the process-wide ResultCache (hit/miss
+ * keys, the ControllerRegistry, the process-wide ArtifactCache (hit/miss
  * behavior, shared baselines, batch dedup), and the fewer-total-
  * simulations property of figure-style sweeps run in one process.
  */
@@ -50,11 +50,11 @@ profilingSpec()
     return spec;
 }
 
-class ResultCacheTest : public ::testing::Test
+class ArtifactCacheTest : public ::testing::Test
 {
   protected:
-    void SetUp() override { ResultCache::instance().clear(); }
-    void TearDown() override { ResultCache::instance().clear(); }
+    void SetUp() override { ArtifactCache::instance().clear(); }
+    void TearDown() override { ArtifactCache::instance().clear(); }
 };
 
 // ---------------------------------------------------------- cache keys
@@ -104,6 +104,68 @@ TEST(ExperimentSpec, WorkerCountIsNotPartOfTheKey)
     ExperimentSpec wide = tinySpec("gsm");
     wide.config.jobs = 8;
     EXPECT_EQ(serial.cacheKey(), wide.cacheKey());
+}
+
+TEST(ExperimentSpec, StoreRootIsNotPartOfTheKey)
+{
+    // Where a result is stored never changes its value, so configs
+    // differing only in `store` must share a cache slot.
+    ExperimentSpec local = tinySpec("gsm");
+    ExperimentSpec stored = tinySpec("gsm");
+    stored.config.store = "/tmp/somewhere";
+    EXPECT_EQ(local.cacheKey(), stored.cacheKey());
+}
+
+TEST(ExperimentSpec, TypedSpecKeyNamespacesNeverCollide)
+{
+    // Four spec types over one benchmark and config: every pair of
+    // keys must differ, including ProfileSpec against the profiling
+    // ExperimentSpec of the same run (distinct artifacts of it).
+    ProfileSpec profile;
+    profile.benchmark = "gsm";
+    profile.config = tinyConfig();
+
+    OfflineSearchSpec offline;
+    offline.benchmark = "gsm";
+    offline.config = tinyConfig();
+
+    GlobalMatchSpec global;
+    global.benchmark = "gsm";
+    global.config = tinyConfig();
+
+    std::vector<std::string> keys = {
+        profile.cacheKey(), profile.experimentSpec().cacheKey(),
+        offline.cacheKey(), global.cacheKey(),
+        tinySpec("gsm").cacheKey()};
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        for (std::size_t j = i + 1; j < keys.size(); ++j)
+            EXPECT_NE(keys[i], keys[j]) << i << " vs " << j;
+}
+
+TEST(ExperimentSpec, SearchSpecKeysCoverTheirInputs)
+{
+    OfflineSearchSpec base;
+    base.benchmark = "gsm";
+    base.config = tinyConfig();
+
+    OfflineSearchSpec target = base;
+    target.targetDeg = 0.05;
+    EXPECT_NE(base.cacheKey(), target.cacheKey());
+
+    OfflineSearchSpec stats = base;
+    stats.mcdBase.time = 123;
+    EXPECT_NE(base.cacheKey(), stats.cacheKey());
+
+    OfflineSearchSpec profiled = base;
+    profiled.profile.emplace_back();
+    EXPECT_NE(base.cacheKey(), profiled.cacheKey());
+
+    GlobalMatchSpec gbase;
+    gbase.benchmark = "gsm";
+    gbase.config = tinyConfig();
+    GlobalMatchSpec gtime = gbase;
+    gtime.targetTime = 777;
+    EXPECT_NE(gbase.cacheKey(), gtime.cacheKey());
 }
 
 TEST(ExperimentSpec, ExplicitMaxFrequencyMatchesDefault)
@@ -166,11 +228,11 @@ TEST(ControllerRegistry, ParseControllerSpec)
     EXPECT_DOUBLE_EQ(with_params.params.at("endstop_count"), 5.0);
 }
 
-// --------------------------------------------------------- ResultCache
+// --------------------------------------------------------- ArtifactCache
 
-TEST_F(ResultCacheTest, MissThenHit)
+TEST_F(ArtifactCacheTest, MissThenHit)
 {
-    ResultCache &cache = ResultCache::instance();
+    ArtifactCache &cache = ArtifactCache::instance();
     ExperimentSpec spec = tinySpec("gsm");
 
     SimStats first = cache.getOrRun(spec);
@@ -193,22 +255,22 @@ TEST_F(ResultCacheTest, MissThenHit)
     EXPECT_EQ(first.feCycles, fresh.feCycles);
 }
 
-TEST_F(ResultCacheTest, DistinctSpecsMissIndependently)
+TEST_F(ArtifactCacheTest, DistinctSpecsMissIndependently)
 {
-    ResultCache &cache = ResultCache::instance();
+    ArtifactCache &cache = ArtifactCache::instance();
     cache.getOrRun(tinySpec("gsm"));
     cache.getOrRun(tinySpec("adpcm"));
     EXPECT_EQ(cache.simulationsRun(), 2u);
     EXPECT_EQ(cache.size(), 2u);
 }
 
-TEST_F(ResultCacheTest, SeedMatchedVariantsShareACachedBaseline)
+TEST_F(ArtifactCacheTest, SeedMatchedVariantsShareACachedBaseline)
 {
     // Two variant workflows of one benchmark — a figure comparing
     // Attack/Decay against the MCD baseline, and a sweep comparing a
     // schedule replay against the same baseline — request the same
     // seed-matched baseline spec. It must simulate exactly once.
-    ResultCache &cache = ResultCache::instance();
+    ArtifactCache &cache = ArtifactCache::instance();
     RunnerConfig seeded = tinyConfig();
     seeded.clockSeed = deriveJobSeed(seeded.clockSeed, 3);
 
@@ -229,9 +291,9 @@ TEST_F(ResultCacheTest, SeedMatchedVariantsShareACachedBaseline)
     EXPECT_EQ(cache.hits(), 1u);
 }
 
-TEST_F(ResultCacheTest, BatchDeduplicatesAgainstItselfAndTheCache)
+TEST_F(ArtifactCacheTest, BatchDeduplicatesAgainstItselfAndTheCache)
 {
-    ResultCache &cache = ResultCache::instance();
+    ArtifactCache &cache = ArtifactCache::instance();
     ExperimentSpec spec = tinySpec("gsm");
 
     std::vector<ExperimentSpec> batch = {spec, spec, spec};
@@ -247,9 +309,9 @@ TEST_F(ResultCacheTest, BatchDeduplicatesAgainstItselfAndTheCache)
     EXPECT_EQ(again[0].time, results[0].time);
 }
 
-TEST_F(ResultCacheTest, SyntheticScenariosRunThroughTheLayer)
+TEST_F(ArtifactCacheTest, SyntheticScenariosRunThroughTheLayer)
 {
-    SimStats stats = ResultCache::instance().getOrRun(
+    SimStats stats = ArtifactCache::instance().getOrRun(
         tinySpec("synthetic:mem=0.9,ilp=4,phases=4"));
     EXPECT_EQ(stats.instructions, tinyConfig().instructions);
     EXPECT_GT(stats.time, 0u);
@@ -263,9 +325,9 @@ TEST_F(ResultCacheTest, SyntheticScenariosRunThroughTheLayer)
  * configurations coincide (Figure 6(a) at decay 0.75% equals Figure
  * 6(b) at reaction 4%) — simulate once.
  */
-TEST_F(ResultCacheTest, FigureStyleSweepsIssueStrictlyFewerSimulations)
+TEST_F(ArtifactCacheTest, FigureStyleSweepsIssueStrictlyFewerSimulations)
 {
-    ResultCache &cache = ResultCache::instance();
+    ArtifactCache &cache = ArtifactCache::instance();
     RunnerConfig base = tinyConfig();
     std::vector<std::string> names = {"gsm", "em3d"};
 
@@ -331,9 +393,9 @@ TEST_F(ResultCacheTest, FigureStyleSweepsIssueStrictlyFewerSimulations)
  * share their coarse probe grid; running both through the cache must
  * issue strictly fewer schedule replays than the two searches probe.
  */
-TEST_F(ResultCacheTest, OfflineSearchesShareCoarseProbes)
+TEST_F(ArtifactCacheTest, OfflineSearchesShareCoarseProbes)
 {
-    ResultCache &cache = ResultCache::instance();
+    ArtifactCache &cache = ArtifactCache::instance();
     Runner runner(tinyConfig());
     std::vector<IntervalProfile> profile;
     SimStats mcd = runner.runMcdBaseline("gsm", &profile);

@@ -431,6 +431,43 @@ TEST(ScenarioRegistry, SyntheticKnobsShapeTheSpec)
               phased.phases[2].dataFootprint);
 }
 
+TEST(ScenarioRegistry, SyntheticBurstKnobBuildsIdlePhases)
+{
+    ScenarioRegistry &registry = ScenarioRegistry::instance();
+
+    // burst=B interleaves an io-like idle phase into each of the N
+    // periods: 2N phases, busy weight (1-B)/N, idle weight B/N, and
+    // the idle phase is a serial pointer chase with no ILP.
+    BenchmarkSpec bursty =
+        registry.spec("synthetic:mem=0.2,burst=0.75,phases=3");
+    ASSERT_EQ(bursty.phases.size(), 6u);
+    for (std::size_t i = 0; i < bursty.phases.size(); i += 2) {
+        const PhaseSpec &busy = bursty.phases[i];
+        const PhaseSpec &idle = bursty.phases[i + 1];
+        EXPECT_DOUBLE_EQ(busy.weight, 0.25 / 3.0);
+        EXPECT_DOUBLE_EQ(idle.weight, 0.75 / 3.0);
+        EXPECT_EQ(idle.depWindow, 1);
+        EXPECT_DOUBLE_EQ(idle.chaseFrac, 1.0);
+        EXPECT_GT(idle.dataFootprint, busy.dataFootprint);
+    }
+
+    // burst defaults to 0 and changes nothing: the un-bursty name
+    // still builds the single uniform phase.
+    BenchmarkSpec plain = registry.spec("synthetic:mem=0.2");
+    ASSERT_EQ(plain.phases.size(), 1u);
+    BenchmarkSpec zero = registry.spec("synthetic:mem=0.2,burst=0");
+    ASSERT_EQ(zero.phases.size(), 1u);
+    EXPECT_DOUBLE_EQ(zero.phases[0].chaseFrac, plain.phases[0].chaseFrac);
+
+    // All idle (burst=1) is legal: busy phases carry zero weight and
+    // the generator still produces a stream.
+    BenchmarkSpec all_idle = registry.spec("synthetic:burst=1");
+    ASSERT_EQ(all_idle.phases.size(), 2u);
+    SyntheticProgram program(all_idle, 4000);
+    for (int i = 0; i < 1000; ++i)
+        program.next();
+}
+
 TEST(ScenarioRegistry, SyntheticSeedKnobAndNameDefault)
 {
     ScenarioRegistry &registry = ScenarioRegistry::instance();
