@@ -12,24 +12,42 @@
  *               [--mode mcd|sync] [--freq <hz>] [--seed <n>]
  *               [--store <dir>] [--json]
  *   mcd_cli cache [--store <dir>] [--json]
+ *   mcd_cli cache prune [--store <dir>] [--max-bytes <b>]
+ *               [--max-age <s>] [--tmp-age <s>] [--json]
+ *   mcd_cli fleet <target>[,<target>...] [--procs <n>]
+ *               [--retries <n>] [--store <dir>] [--json]
  *
  * The usual environment knobs (MCD_INSNS, MCD_WARMUP, MCD_INTERVAL,
  * MCD_JOBS, MCD_STORE) set the methodology. Runs resolve through the
  * process-wide ArtifactCache: repeated benchmarks in one invocation
  * simulate once, and with a persistent store (--store or MCD_STORE)
- * once across invocations. `cache` prints the store statistics.
+ * once across invocations. `cache` prints the store statistics;
+ * `cache prune` garbage-collects the store (size/age budgets, stale
+ * temp files). `fleet` shards figure/ablation targets — sibling bench
+ * binaries, resolved next to this executable — across N concurrent
+ * worker processes sharing one store, collating per-target stdout in
+ * submission order (byte-identical for any --procs).
  */
 
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <map>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 #include "bench_util.hh"
 #include "common/env.hh"
 #include "common/logging.hh"
+#include "harness/artifact_store.hh"
 #include "harness/experiment.hh"
+#include "harness/fleet.hh"
 #include "harness/table.hh"
 #include "workload/scenario_registry.hh"
 
@@ -172,6 +190,207 @@ cacheJsonObject(const ArtifactCache &cache)
     }
     out += "}";
     return out;
+}
+
+std::uint64_t
+parseU64Flag(const std::string &flag, const std::string &text)
+{
+    // strtoull would silently wrap "-100" to a huge value; require a
+    // plain digit string so negatives and signs fail loudly instead.
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (text.empty() || !std::isdigit(
+            static_cast<unsigned char>(text[0])) ||
+        errno != 0 || end == text.c_str() || *end != '\0')
+        mcd_fatal("%s needs a non-negative integer, not '%s'",
+                  flag.c_str(), text.c_str());
+    return v;
+}
+
+int
+pruneCli(const std::string &root, std::uint64_t max_bytes,
+         std::int64_t max_age, std::int64_t tmp_age, bool json)
+{
+    if (root.empty())
+        mcd_fatal("cache prune needs a store root "
+                  "(--store or MCD_STORE)");
+    DiskStore store(root);
+    DiskStore::PruneOptions options;
+    options.maxBytes = max_bytes;
+    options.maxAgeSeconds = max_age;
+    options.tmpAgeSeconds = tmp_age;
+    DiskStore::PruneReport report = store.prune(options);
+
+    if (json) {
+        std::string out = "{\n  \"prune\": {";
+        out += "\"store_root\": " + jsonStr(root);
+        out += ", \"entries_removed\": " +
+               jsonU64(report.entriesRemoved);
+        out += ", \"bytes_removed\": " + jsonU64(report.bytesRemoved);
+        out += ", \"tmps_removed\": " + jsonU64(report.tmpsRemoved);
+        out += ", \"sidecars_removed\": " +
+               jsonU64(report.sidecarsRemoved);
+        out += ", \"entries_kept\": " + jsonU64(report.entriesKept);
+        out += ", \"bytes_kept\": " + jsonU64(report.bytesKept);
+        out += "}\n}\n";
+        std::fputs(out.c_str(), stdout);
+        return 0;
+    }
+
+    TextTable table("cache prune");
+    table.setHeader({"statistic", "value"});
+    table.addRow({"store root", root});
+    table.addRow({"entries removed",
+                  std::to_string(report.entriesRemoved)});
+    table.addRow({"bytes removed",
+                  std::to_string(report.bytesRemoved)});
+    table.addRow({"stale temp files removed",
+                  std::to_string(report.tmpsRemoved)});
+    table.addRow({"sidecars removed",
+                  std::to_string(report.sidecarsRemoved)});
+    table.addRow({"entries kept", std::to_string(report.entriesKept)});
+    table.addRow({"bytes kept", std::to_string(report.bytesKept)});
+    std::printf("%s", table.render().c_str());
+    return 0;
+}
+
+// ------------------------------------------------------------- fleet
+
+/** Short figure/table/ablation aliases -> sibling binary names. */
+const std::map<std::string, std::string> &
+fleetAliases()
+{
+    static const std::map<std::string, std::string> aliases = {
+        {"fig2", "fig2_lsq_trace"},
+        {"fig3", "fig3_fiq_trace"},
+        {"fig4", "fig4_per_app"},
+        {"fig5", "fig5_perfdeg_target"},
+        {"fig6", "fig6_edp_sensitivity"},
+        {"fig7", "fig7_ppr_sensitivity"},
+        {"table3", "table3_gates"},
+        {"table6", "table6_summary"},
+        {"endstop", "ablation_endstop"},
+        {"frontend", "ablation_frontend"},
+        {"global", "ablation_global"},
+        {"interval", "ablation_interval"},
+        {"listing", "ablation_listing"},
+        {"mcd_overhead", "ablation_mcd_overhead"},
+    };
+    return aliases;
+}
+
+/** The directory holding this executable (and its sibling benches). */
+std::string
+selfDirectory()
+{
+    char buf[4096];
+    ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n <= 0)
+        return ".";
+    buf[n] = '\0';
+    return std::filesystem::path(buf).parent_path().string();
+}
+
+/**
+ * Resolve a fleet target: an alias ("fig5"), an exact sibling binary
+ * name ("table6_summary"), or an explicit path (contains '/').
+ */
+std::string
+resolveFleetTarget(const std::string &name)
+{
+    if (name.find('/') != std::string::npos)
+        return name;
+    std::string binary = name;
+    auto alias = fleetAliases().find(name);
+    if (alias != fleetAliases().end())
+        binary = alias->second;
+    std::string path = selfDirectory() + "/" + binary;
+    if (!std::filesystem::exists(path))
+        mcd_fatal("fleet target '%s' resolves to '%s', which does not "
+                  "exist (build it, or pass an explicit path)",
+                  name.c_str(), path.c_str());
+    return path;
+}
+
+int
+fleetCli(const std::vector<std::string> &names, int procs, int retries,
+         const std::string &store, bool json)
+{
+    std::vector<FleetTarget> targets;
+    for (const auto &name : names) {
+        FleetTarget target;
+        target.name = name;
+        target.argv = {resolveFleetTarget(name)};
+        targets.push_back(std::move(target));
+    }
+
+    FleetOptions options;
+    options.procs = procs;
+    options.retries = retries;
+    options.store = store;
+    FleetReport report = runFleet(targets, options);
+
+    if (json) {
+        std::string out = "{\n  \"fleet\": {\n    \"procs\": " +
+                          std::to_string(std::max(1, procs));
+        out += ",\n    \"store\": " +
+               (store.empty() ? std::string("null") : jsonStr(store));
+        out += ",\n    \"failed\": " +
+               jsonU64(static_cast<std::uint64_t>(report.failed));
+        out += ",\n    \"retried\": " +
+               jsonU64(static_cast<std::uint64_t>(report.retried));
+        out += ",\n    \"targets\": [";
+        bool first = true;
+        for (const auto &t : report.targets) {
+            out += first ? "\n" : ",\n";
+            first = false;
+            out += "      {\"name\": " + jsonStr(t.name) +
+                   ", \"succeeded\": " +
+                   (t.succeeded ? "true" : "false") +
+                   ", \"exit\": " + std::to_string(t.exitCode) +
+                   ", \"attempts\": " + std::to_string(t.attempts) +
+                   ", \"simulations\": " + jsonU64(t.store.simulations) +
+                   ", \"lookups\": " + jsonU64(t.store.lookups) + "}";
+        }
+        out += "\n    ],\n    \"merged\": {";
+        out += "\"lookups\": " + jsonU64(report.merged.lookups);
+        out += ", \"hits\": " + jsonU64(report.merged.hits);
+        out += ", \"disk_hits\": " + jsonU64(report.merged.diskHits);
+        out += ", \"simulations\": " +
+               jsonU64(report.merged.simulations);
+        out += "}\n  }\n}\n";
+        std::fputs(out.c_str(), stdout);
+        return report.failed == 0 ? 0 : 1;
+    }
+
+    // Deterministic collation: each target's stdout, verbatim, in
+    // submission order — byte-identical for any --procs, and for a
+    // single target identical to running the binary directly. All
+    // fleet bookkeeping goes to stderr.
+    for (const auto &t : report.targets) {
+        std::fwrite(t.stdoutText.data(), 1, t.stdoutText.size(),
+                    stdout);
+        if (!t.succeeded) {
+            std::fprintf(stderr,
+                         "fleet: ---- %s failed (exit %d); its stderr "
+                         "follows ----\n",
+                         t.name.c_str(), t.exitCode);
+            std::fwrite(t.stderrText.data(), 1, t.stderrText.size(),
+                        stderr);
+        }
+    }
+    std::fprintf(stderr,
+                 "fleet store: lookups=%llu hits=%llu disk_hits=%llu "
+                 "simulations=%llu failed=%zu retried=%zu\n",
+                 static_cast<unsigned long long>(report.merged.lookups),
+                 static_cast<unsigned long long>(report.merged.hits),
+                 static_cast<unsigned long long>(
+                     report.merged.diskHits),
+                 static_cast<unsigned long long>(
+                     report.merged.simulations),
+                 report.failed, report.retried);
+    return report.failed == 0 ? 0 : 1;
 }
 
 int
@@ -341,6 +560,17 @@ usage()
         "  mcd_cli cache [--store <dir>] [--json]\n"
         "                                   print artifact-store "
         "statistics\n"
+        "  mcd_cli cache prune [--store <dir>] [--max-bytes <b>]\n"
+        "              [--max-age <seconds>] [--tmp-age <seconds>] "
+        "[--json]\n"
+        "                                   garbage-collect the store\n"
+        "  mcd_cli fleet <target>[,<target>...] [--procs <n>]\n"
+        "              [--retries <n>] [--store <dir>] [--json]\n"
+        "                                   shard figure/ablation "
+        "binaries\n"
+        "                                   across worker processes "
+        "sharing\n"
+        "                                   one store\n"
         "\n"
         "examples:\n"
         "  mcd_cli list\n"
@@ -349,6 +579,13 @@ usage()
         "  mcd_cli run --bench synthetic:mem=0.8,ilp=4,phases=6\n"
         "  mcd_cli run --bench gsm --store /tmp/mcd-store   # warm it\n"
         "  mcd_cli cache --store /tmp/mcd-store --json\n"
+        "  mcd_cli fleet fig5,table6 --procs 4 --store /tmp/mcd-store\n"
+        "  mcd_cli cache prune --store /tmp/mcd-store "
+        "--max-bytes 100000000\n"
+        "\n"
+        "fleet targets: fig2..fig7, table3, table6, endstop, frontend,\n"
+        "               global, interval, listing, mcd_overhead, any\n"
+        "               sibling binary name, or an explicit path\n"
         "\n"
         "environment: MCD_INSNS, MCD_WARMUP, MCD_INTERVAL, MCD_JOBS,\n"
         "             MCD_STORE (persistent artifact store root;\n"
@@ -370,13 +607,24 @@ main(int argc, char **argv)
     bool do_list = false;
     bool do_run = false;
     bool do_cache = false;
+    bool do_prune = false;
+    bool do_fleet = false;
     std::vector<std::string> benches;
+    std::vector<std::string> fleet_targets;
     ControllerSpec controller; // "none"
     ClockMode mode = ClockMode::Mcd;
     Hertz freq = 0.0;
     std::uint64_t seed = 0;
     bool have_seed = false;
     std::string store; // --store; "" defers to MCD_STORE
+    // Fleet worker processes. Deliberately defaults to serial: each
+    // worker is itself fully multithreaded (MCD_JOBS), so fanning out
+    // processes is an explicit --procs opt-in, not an ambient default.
+    int procs = 1;
+    int retries = 1;
+    std::uint64_t max_bytes = 0;
+    std::int64_t max_age = -1;
+    std::int64_t tmp_age = 3600;
 
     auto value = [&](std::size_t &i) -> std::string {
         if (i + 1 >= args.size())
@@ -392,6 +640,29 @@ main(int argc, char **argv)
             do_run = true;
         } else if (arg == "cache") {
             do_cache = true;
+        } else if (arg == "prune" && do_cache) {
+            do_prune = true;
+        } else if (arg == "fleet") {
+            do_fleet = true;
+        } else if (arg == "--procs") {
+            procs = static_cast<int>(
+                parseU64Flag("--procs", value(i)));
+            if (procs < 1)
+                mcd_fatal("--procs needs a positive worker count");
+        } else if (arg == "--retries") {
+            retries = static_cast<int>(
+                parseU64Flag("--retries", value(i)));
+        } else if (arg == "--max-bytes") {
+            max_bytes = parseU64Flag("--max-bytes", value(i));
+        } else if (arg == "--max-age") {
+            max_age = static_cast<std::int64_t>(
+                parseU64Flag("--max-age", value(i)));
+        } else if (arg == "--tmp-age") {
+            tmp_age = static_cast<std::int64_t>(
+                parseU64Flag("--tmp-age", value(i)));
+        } else if (do_fleet && !arg.empty() && arg[0] != '-') {
+            for (const auto &name : splitList(arg))
+                fleet_targets.push_back(name);
         } else if (arg == "--store") {
             store = value(i);
             if (store.empty())
@@ -439,15 +710,27 @@ main(int argc, char **argv)
         return runExperimentsCli(benches, controller, mode, freq, seed,
                                  have_seed, store, json);
     }
+    if (do_fleet) {
+        if (fleet_targets.empty())
+            mcd_fatal("fleet needs at least one target "
+                      "(e.g. fleet fig5,table6)");
+        // Workers inherit MCD_STORE unless --store overrides; resolve
+        // here so the merged report and the children agree on the root.
+        std::string root =
+            store.empty() ? standardConfig().store : store;
+        return fleetCli(fleet_targets, procs, retries, root, json);
+    }
     if (do_cache) {
         // Standalone `cache` reports on the persistent layer (--store
         // or MCD_STORE); after `run` in the same process it would also
         // reflect that run's counters, but subcommands are exclusive.
         std::string root =
             store.empty() ? standardConfig().store : store;
+        if (do_prune)
+            return pruneCli(root, max_bytes, max_age, tmp_age, json);
         return cacheStatsCli(root, json);
     }
-    if (!do_list && !do_run) {
+    if (!do_list) {
         usage();
         return 2;
     }

@@ -1,9 +1,12 @@
 #include "harness/artifact_store.hh"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <set>
 
 #include <unistd.h>
 
@@ -29,8 +32,10 @@ MemoryStore::get(const std::string &key, std::string &blob)
 }
 
 void
-MemoryStore::put(const std::string &key, const std::string &blob)
+MemoryStore::put(const std::string &key, const std::string &blob,
+                 const std::string &provenance)
 {
+    (void)provenance; // meaningful only for persistent backends
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = map_.find(key);
     if (it != map_.end())
@@ -78,6 +83,9 @@ namespace
 constexpr char MAGIC[4] = {'M', 'C', 'D', 'A'};
 constexpr std::uint64_t FORMAT_VERSION = 1;
 
+constexpr const char *ENTRY_EXT = ".mcda";
+constexpr const char *SIDECAR_EXT = ".meta";
+
 std::string
 hexHash(const std::string &key)
 {
@@ -85,6 +93,95 @@ hexHash(const std::string &key)
     std::snprintf(buf, sizeof(buf), "%016llx",
                   static_cast<unsigned long long>(serial::fnv1a(key)));
     return buf;
+}
+
+bool
+isHexStem(const std::string &stem)
+{
+    if (stem.size() != 16)
+        return false;
+    for (char c : stem)
+        if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')))
+            return false;
+    return true;
+}
+
+/** Exactly `<16 hex>` + `ext` — the only names the store writes. */
+bool
+hasStoreName(const std::string &name, const char *ext)
+{
+    std::string suffix(ext);
+    if (name.size() != 16 + suffix.size() ||
+        name.compare(16, suffix.size(), suffix) != 0)
+        return false;
+    return isHexStem(name.substr(0, 16));
+}
+
+/**
+ * A temp file this store wrote: `<16 hex>.<mcda|meta>.tmp.<pid>.<n>`.
+ * The prefix must match exactly so a sweep can never unlink a foreign
+ * file that merely contains ".tmp." somewhere in its name.
+ */
+bool
+isTempName(const std::string &name)
+{
+    for (const char *ext : {ENTRY_EXT, SIDECAR_EXT}) {
+        std::string prefix = std::string(ext) + ".tmp.";
+        if (name.size() > 16 + prefix.size() &&
+            name.compare(16, prefix.size(), prefix) == 0 &&
+            isHexStem(name.substr(0, 16)))
+            return true;
+    }
+    return false;
+}
+
+std::int64_t
+fileAgeSeconds(const fs::path &path, std::error_code &ec)
+{
+    auto mtime = fs::last_write_time(path, ec);
+    if (ec)
+        return 0;
+    auto age = std::chrono::duration_cast<std::chrono::seconds>(
+        fs::file_time_type::clock::now() - mtime);
+    return std::max<std::int64_t>(0, age.count());
+}
+
+/**
+ * Unique-temp-then-rename: the only write pattern in the store, so
+ * readers never observe partial files. Fatal when `fatal_on_error`
+ * (entry writes must not be silently lost); best-effort otherwise
+ * (sidecars are advisory metadata).
+ */
+void
+atomicWrite(const fs::path &final_path, const std::string &data,
+            bool fatal_on_error)
+{
+    static std::atomic<std::uint64_t> counter{0};
+    fs::path tmp_path = final_path;
+    tmp_path += ".tmp." + std::to_string(::getpid()) + "." +
+                std::to_string(counter.fetch_add(1));
+
+    {
+        std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+        out.write(data.data(),
+                  static_cast<std::streamsize>(data.size()));
+        if (!out.good()) {
+            std::error_code ec;
+            fs::remove(tmp_path, ec);
+            if (fatal_on_error)
+                mcd_fatal("cannot write artifact store entry '%s'",
+                          tmp_path.string().c_str());
+            return;
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp_path, final_path, ec);
+    if (ec) {
+        fs::remove(tmp_path, ec);
+        if (fatal_on_error)
+            mcd_fatal("cannot finalize artifact store entry '%s'",
+                      final_path.string().c_str());
+    }
 }
 
 } // namespace
@@ -104,7 +201,13 @@ DiskStore::DiskStore(const std::string &root)
 std::string
 DiskStore::pathFor(const std::string &key) const
 {
-    return (fs::path(root_) / (hexHash(key) + ".mcda")).string();
+    return (fs::path(root_) / (hexHash(key) + ENTRY_EXT)).string();
+}
+
+std::string
+DiskStore::sidecarPathFor(const std::string &key) const
+{
+    return (fs::path(root_) / (hexHash(key) + SIDECAR_EXT)).string();
 }
 
 bool
@@ -142,7 +245,8 @@ DiskStore::get(const std::string &key, std::string &blob)
 }
 
 void
-DiskStore::put(const std::string &key, const std::string &blob)
+DiskStore::put(const std::string &key, const std::string &blob,
+               const std::string &provenance)
 {
     std::string data(MAGIC, sizeof(MAGIC));
     std::string body;
@@ -152,32 +256,16 @@ DiskStore::put(const std::string &key, const std::string &blob)
     data += body;
     serial::appendU64(data, serial::fnv1a(data));
 
-    // Unique temp name per writer (pid + process-wide counter), then an
-    // atomic rename: readers never see a partial entry, and same-key
-    // racers overwrite each other with identical bytes.
-    static std::atomic<std::uint64_t> counter{0};
-    fs::path final_path = pathFor(key);
-    fs::path tmp_path = final_path;
-    tmp_path += ".tmp." + std::to_string(::getpid()) + "." +
-                std::to_string(counter.fetch_add(1));
+    atomicWrite(pathFor(key), data, /*fatal_on_error=*/true);
 
-    {
-        std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-        out.write(data.data(),
-                  static_cast<std::streamsize>(data.size()));
-        if (!out.good()) {
-            std::error_code ec;
-            fs::remove(tmp_path, ec);
-            mcd_fatal("cannot write artifact store entry '%s'",
-                      tmp_path.string().c_str());
-        }
-    }
-    std::error_code ec;
-    fs::rename(tmp_path, final_path, ec);
-    if (ec) {
-        fs::remove(tmp_path, ec);
-        mcd_fatal("cannot finalize artifact store entry '%s'",
-                  final_path.string().c_str());
+    if (!provenance.empty()) {
+        // The sidecar exists for humans and external tooling; losing
+        // one never loses a result, so its write is best-effort.
+        std::string meta = "key_fnv1a=" + hexHash(key) + "\n" +
+                           "blob_bytes=" + std::to_string(blob.size()) +
+                           "\n" + provenance + "\n";
+        atomicWrite(sidecarPathFor(key), meta,
+                    /*fatal_on_error=*/false);
     }
 }
 
@@ -188,7 +276,7 @@ DiskStore::entries() const
     std::error_code ec;
     for (const auto &entry : fs::directory_iterator(root_, ec))
         if (entry.is_regular_file() &&
-            entry.path().extension() == ".mcda")
+            hasStoreName(entry.path().filename().string(), ENTRY_EXT))
             ++n;
     return n;
 }
@@ -200,7 +288,7 @@ DiskStore::bytes() const
     std::error_code ec;
     for (const auto &entry : fs::directory_iterator(root_, ec)) {
         if (!entry.is_regular_file() ||
-            entry.path().extension() != ".mcda")
+            !hasStoreName(entry.path().filename().string(), ENTRY_EXT))
             continue;
         std::error_code size_ec;
         auto size = entry.file_size(size_ec);
@@ -210,6 +298,166 @@ DiskStore::bytes() const
             total += size;
     }
     return total;
+}
+
+std::vector<DiskStore::EntryInfo>
+DiskStore::enumerate() const
+{
+    std::vector<EntryInfo> infos;
+    std::set<std::string> sidecars;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(root_, ec)) {
+        if (!entry.is_regular_file())
+            continue;
+        std::string name = entry.path().filename().string();
+        if (hasStoreName(name, SIDECAR_EXT)) {
+            sidecars.insert(name.substr(0, 16));
+            continue;
+        }
+        if (!hasStoreName(name, ENTRY_EXT))
+            continue;
+        EntryInfo info;
+        info.stem = name.substr(0, 16);
+        info.path = entry.path().string();
+        std::error_code stat_ec;
+        auto size = entry.file_size(stat_ec);
+        if (stat_ec)
+            continue; // vanished mid-scan (a concurrent prune)
+        info.bytes = size;
+        info.ageSeconds = fileAgeSeconds(entry.path(), stat_ec);
+        infos.push_back(std::move(info));
+    }
+    std::sort(infos.begin(), infos.end(),
+              [](const EntryInfo &a, const EntryInfo &b) {
+                  return a.stem < b.stem;
+              });
+    for (auto &info : infos)
+        info.hasSidecar = sidecars.count(info.stem) != 0;
+    return infos;
+}
+
+bool
+DiskStore::removeEntry(const std::string &key)
+{
+    std::error_code ec;
+    bool removed = fs::remove(pathFor(key), ec) && !ec;
+    fs::remove(sidecarPathFor(key), ec);
+    return removed;
+}
+
+DiskStore::PruneReport
+DiskStore::prune(const PruneOptions &options)
+{
+    PruneReport report;
+
+    struct Victim
+    {
+        fs::path path;
+        std::string stem;
+        std::uint64_t bytes = 0;
+        std::int64_t age = 0;
+    };
+    std::vector<Victim> kept;
+    std::set<std::string> sidecar_stems;
+
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(root_, ec)) {
+        if (!entry.is_regular_file())
+            continue;
+        std::string name = entry.path().filename().string();
+
+        if (isTempName(name)) {
+            std::error_code age_ec;
+            std::int64_t age = fileAgeSeconds(entry.path(), age_ec);
+            if (age_ec)
+                continue;
+            if (age >= options.tmpAgeSeconds) {
+                std::error_code rm_ec;
+                if (fs::remove(entry.path(), rm_ec) && !rm_ec)
+                    ++report.tmpsRemoved;
+            }
+            continue;
+        }
+        if (hasStoreName(name, SIDECAR_EXT)) {
+            sidecar_stems.insert(name.substr(0, 16));
+            continue;
+        }
+        if (!hasStoreName(name, ENTRY_EXT))
+            continue; // not ours: never touch foreign files
+
+        Victim v;
+        v.path = entry.path();
+        v.stem = name.substr(0, 16);
+        std::error_code stat_ec;
+        auto size = entry.file_size(stat_ec);
+        if (stat_ec)
+            continue;
+        v.bytes = size;
+        v.age = fileAgeSeconds(entry.path(), stat_ec);
+        kept.push_back(std::move(v));
+    }
+
+    auto evict = [&](const Victim &v) {
+        std::error_code rm_ec;
+        if (fs::remove(v.path, rm_ec) && !rm_ec) {
+            ++report.entriesRemoved;
+            report.bytesRemoved += v.bytes;
+        }
+    };
+
+    // Age-based eviction first: it is unconditional.
+    if (options.maxAgeSeconds >= 0) {
+        std::vector<Victim> young;
+        for (auto &v : kept) {
+            if (v.age > options.maxAgeSeconds)
+                evict(v);
+            else
+                young.push_back(std::move(v));
+        }
+        kept = std::move(young);
+    }
+
+    // Size budget: evict oldest first until the store fits. Stems are
+    // the deterministic tiebreak for same-age files.
+    if (options.maxBytes > 0) {
+        std::sort(kept.begin(), kept.end(),
+                  [](const Victim &a, const Victim &b) {
+                      if (a.age != b.age)
+                          return a.age > b.age;
+                      return a.stem < b.stem;
+                  });
+        std::uint64_t total = 0;
+        for (const auto &v : kept)
+            total += v.bytes;
+        std::vector<Victim> survivors;
+        for (auto &v : kept) {
+            if (total > options.maxBytes) {
+                total -= v.bytes;
+                evict(v);
+            } else {
+                survivors.push_back(std::move(v));
+            }
+        }
+        kept = std::move(survivors);
+    }
+
+    std::set<std::string> kept_stems;
+    for (const auto &v : kept) {
+        ++report.entriesKept;
+        report.bytesKept += v.bytes;
+        kept_stems.insert(v.stem);
+    }
+
+    // Sidecars follow their entries; an orphan describes nothing.
+    for (const auto &stem : sidecar_stems) {
+        if (kept_stems.count(stem))
+            continue;
+        std::error_code rm_ec;
+        if (fs::remove(fs::path(root_) / (stem + SIDECAR_EXT), rm_ec) &&
+            !rm_ec)
+            ++report.sidecarsRemoved;
+    }
+    return report;
 }
 
 } // namespace mcd

@@ -12,6 +12,15 @@
  *    checksum; short, corrupt, mismatched-key (hash collision), or
  *    stale-format entries read as misses, never as wrong values.
  *
+ * `DiskStore` also owns the store's lifecycle: `enumerate()` lists the
+ * entries, `removeEntry()` deletes one, and `prune()` garbage-collects
+ * — age- and size-budget eviction of entries plus a sweep of stale
+ * `*.tmp.*` files orphaned by writers that died between temp-write and
+ * rename. A `put` may carry a human-readable provenance string, which
+ * the disk backend persists as a `<hash>.meta` sidecar next to the
+ * entry so external tooling can tell what a hash is. Sidecars and temp
+ * files are never counted by `entries()`/`bytes()`.
+ *
  * Stores deal only in opaque blobs. The typed layer on top —
  * `ArtifactCache` in `harness/experiment.hh` — layers a MemoryStore
  * over an optional DiskStore and handles encode/decode/validation, so
@@ -26,6 +35,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 namespace mcd
 {
@@ -42,14 +52,20 @@ class ArtifactStore
     /** Fetch the blob stored under `key`; false on miss. */
     virtual bool get(const std::string &key, std::string &blob) = 0;
 
-    /** Store `blob` under `key`, replacing any existing entry. */
-    virtual void put(const std::string &key, const std::string &blob)
+    /**
+     * Store `blob` under `key`, replacing any existing entry. A
+     * non-empty `provenance` is a human-readable description of the
+     * key, persisted alongside the entry where the backend supports it
+     * (the disk backend's `<hash>.meta` sidecar).
+     */
+    virtual void put(const std::string &key, const std::string &blob,
+                     const std::string &provenance = "")
         = 0;
 
     /** Entries currently stored (for DiskStore: readable entries). */
     virtual std::size_t entries() const = 0;
 
-    /** Total stored payload bytes (DiskStore: file bytes on disk). */
+    /** Total stored payload bytes (DiskStore: entry-file bytes). */
     virtual std::uint64_t bytes() const = 0;
 
     /** Root directory for disk-backed stores, "" otherwise. */
@@ -62,7 +78,8 @@ class MemoryStore : public ArtifactStore
   public:
     const char *kind() const override { return "memory"; }
     bool get(const std::string &key, std::string &blob) override;
-    void put(const std::string &key, const std::string &blob) override;
+    void put(const std::string &key, const std::string &blob,
+             const std::string &provenance = "") override;
     std::size_t entries() const override;
     std::uint64_t bytes() const override;
 
@@ -89,18 +106,90 @@ class MemoryStore : public ArtifactStore
 class DiskStore : public ArtifactStore
 {
   public:
+    /** One readable store entry as seen by `enumerate()`. */
+    struct EntryInfo
+    {
+        std::string stem;        //!< 16-hex key hash (the file stem)
+        std::string path;        //!< full entry-file path
+        std::uint64_t bytes = 0; //!< entry-file size
+        std::int64_t ageSeconds = 0; //!< since last write (>= 0)
+        bool hasSidecar = false; //!< a `<stem>.meta` sits next to it
+    };
+
+    /** What `prune()` may evict. Defaults evict nothing but stale
+     *  temp files. */
+    struct PruneOptions
+    {
+        /** Evict oldest entries until the store fits (0 = no budget). */
+        std::uint64_t maxBytes = 0;
+
+        /** Evict entries older than this (< 0 = no age limit). */
+        std::int64_t maxAgeSeconds = -1;
+
+        /**
+         * Sweep `*.tmp.*` files older than this. Temp files are only
+         * ever live for the duration of one write, so anything older
+         * was orphaned by a writer that died between temp-write and
+         * rename. Keep this above a write's lifetime (the default is
+         * one hour) so a sweep never races a live writer's rename; 0
+         * sweeps every temp file (quiescent stores only).
+         */
+        std::int64_t tmpAgeSeconds = 3600;
+    };
+
+    /** What one `prune()` call did. */
+    struct PruneReport
+    {
+        std::size_t entriesRemoved = 0;
+        std::uint64_t bytesRemoved = 0;
+        std::size_t tmpsRemoved = 0;     //!< stale temp files swept
+        std::size_t sidecarsRemoved = 0; //!< evicted or orphaned .meta
+        std::size_t entriesKept = 0;
+        std::uint64_t bytesKept = 0;
+    };
+
     /** Fatal if `root` is empty or cannot be created. */
     explicit DiskStore(const std::string &root);
 
     const char *kind() const override { return "disk"; }
     bool get(const std::string &key, std::string &blob) override;
-    void put(const std::string &key, const std::string &blob) override;
+    void put(const std::string &key, const std::string &blob,
+             const std::string &provenance = "") override;
     std::size_t entries() const override;
     std::uint64_t bytes() const override;
     std::string root() const override { return root_; }
 
     /** The file a key is stored under (tests, debugging). */
     std::string pathFor(const std::string &key) const;
+
+    /** The provenance sidecar of a key (tests, external tooling). */
+    std::string sidecarPathFor(const std::string &key) const;
+
+    /**
+     * Every readable entry, sorted by stem (deterministic across
+     * directory-iteration orders). Temp files, sidecars, and foreign
+     * files are not entries and never appear.
+     */
+    std::vector<EntryInfo> enumerate() const;
+
+    /**
+     * Delete the entry (and sidecar) stored under `key`. Returns true
+     * when an entry file existed. Concurrent readers observe a plain
+     * miss and recompute; a racing `put` may immediately re-create the
+     * entry, which is the intended miss-and-heal behavior.
+     */
+    bool removeEntry(const std::string &key);
+
+    /**
+     * Garbage-collect the store: sweep stale temp files, evict entries
+     * past the age limit, then evict oldest-first (last-write time,
+     * stem as the deterministic tiebreak) until the size budget holds.
+     * Sidecars follow their entries; orphaned sidecars are removed.
+     * Safe against concurrent readers (they miss and heal) and
+     * writers (atomic renames either land before the scan or after
+     * it, never half-way).
+     */
+    PruneReport prune(const PruneOptions &options);
 
   private:
     std::string root_;

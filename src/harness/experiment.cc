@@ -106,6 +106,38 @@ appendRunnerConfig(std::string &out, const RunnerConfig &config)
     appendEnergyConfig(out, config.energy);
 }
 
+std::string
+describeConfig(const RunnerConfig &config)
+{
+    return logging_detail::format(
+        "insns=%llu warmup=%llu interval=%d seed=%llu jitter=%d",
+        static_cast<unsigned long long>(config.instructions),
+        static_cast<unsigned long long>(config.warmup),
+        config.intervalInstructions,
+        static_cast<unsigned long long>(config.clockSeed),
+        config.jitter ? 1 : 0);
+}
+
+std::string
+describeController(const ControllerSpec &controller)
+{
+    std::string out = controller.name;
+    if (!controller.params.empty()) {
+        out += "{";
+        bool first = true;
+        for (const auto &[key, value] : controller.params) {
+            out += first ? "" : ",";
+            first = false;
+            out += key + "=" + logging_detail::format("%g", value);
+        }
+        out += "}";
+    }
+    if (!controller.schedule.empty())
+        out += logging_detail::format("+schedule[%zu]",
+                                      controller.schedule.size());
+    return out;
+}
+
 /** Typed re-decode used to validate candidate blobs from the store. */
 template <typename T>
 bool
@@ -149,6 +181,17 @@ ExperimentSpec::hash() const
     return serial::fnv1a(cacheKey());
 }
 
+std::string
+ExperimentSpec::describe() const
+{
+    return logging_detail::format(
+        "type=experiment benchmark=%s mode=%s controller=%s "
+        "start_freq=%g %s",
+        benchmark.c_str(), mode == ClockMode::Mcd ? "mcd" : "sync",
+        describeController(controller).c_str(), resolvedStartFreq(),
+        describeConfig(config).c_str());
+}
+
 ExperimentSpec
 ProfileSpec::experimentSpec() const
 {
@@ -171,17 +214,47 @@ ProfileSpec::cacheKey() const
 }
 
 std::string
+ProfileSpec::describe() const
+{
+    return logging_detail::format("type=profile benchmark=%s %s",
+                                  benchmark.c_str(),
+                                  describeConfig(config).c_str());
+}
+
+std::string
 OfflineSearchSpec::cacheKey() const
 {
+    // Key format v2: the baseline stats and interval profile enter as
+    // fixed-width (digest, length) pairs over their exact payload
+    // serializations instead of the payloads themselves — v1 embedded
+    // both, which made every search key (and therefore every disk
+    // entry, which stores its full key) grow with the profile. The
+    // bumped namespace retires all v1 entries as plain misses.
     std::string key;
-    appendString(key, "offline_search");
+    appendString(key, "offline_search/2");
     appendString(key, benchmark);
     appendDouble(key, targetDeg);
-    ArtifactTraits<SimStats>::encodePayload(key, mcdBase);
-    ArtifactTraits<std::vector<IntervalProfile>>::encodePayload(
-        key, profile);
+    std::string base;
+    ArtifactTraits<SimStats>::encodePayload(base, mcdBase);
+    appendU64(key, serial::fnv1a(base));
+    appendU64(key, base.size());
+    std::string prof;
+    ArtifactTraits<std::vector<IntervalProfile>>::encodePayload(prof,
+                                                                profile);
+    appendU64(key, serial::fnv1a(prof));
+    appendU64(key, prof.size());
     appendRunnerConfig(key, config);
     return key;
+}
+
+std::string
+OfflineSearchSpec::describe() const
+{
+    return logging_detail::format(
+        "type=offline_search benchmark=%s target_deg=%g "
+        "profile_intervals=%zu %s",
+        benchmark.c_str(), targetDeg, profile.size(),
+        describeConfig(config).c_str());
 }
 
 std::string
@@ -193,6 +266,15 @@ GlobalMatchSpec::cacheKey() const
     appendI64(key, targetTime);
     appendRunnerConfig(key, config);
     return key;
+}
+
+std::string
+GlobalMatchSpec::describe() const
+{
+    return logging_detail::format(
+        "type=global_match benchmark=%s target_time=%lld %s",
+        benchmark.c_str(), static_cast<long long>(targetTime),
+        describeConfig(config).c_str());
 }
 
 SimStats
@@ -226,7 +308,8 @@ std::string
 ArtifactCache::fetch(
     const std::string &key,
     const std::function<bool(const std::string &)> &validate,
-    const std::function<std::string()> &build)
+    const std::function<std::string()> &build,
+    const std::string &provenance)
 {
     std::shared_ptr<Inflight> flight;
     {
@@ -240,7 +323,8 @@ ArtifactCache::fetch(
     // Concurrent requests for one key block here while the first
     // caller resolves it; the build never runs under the map lock, so
     // distinct artifacts still fan out in parallel, and nested
-    // requests (a search's probes) recurse freely.
+    // requests (a search's probes, always for *other* keys) recurse
+    // freely.
     std::call_once(flight->once, [&] {
         std::string blob;
         if (memory_.get(key, blob) && validate(blob))
@@ -259,10 +343,20 @@ ArtifactCache::fetch(
         blob = build();
         memory_.put(key, blob);
         if (disk)
-            disk->put(key, blob);
+            disk->put(key, blob, provenance);
         std::lock_guard<std::mutex> lock(mutex_);
         ++computes_;
     });
+    // Resolved: retire the inflight slot so the map stays bounded by
+    // concurrency, not by distinct keys ever requested. Late waiters
+    // each erase-if-same (idempotent); a fresh request after the erase
+    // makes a new slot whose call_once body hits the memory layer.
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = inflight_.find(key);
+        if (it != inflight_.end() && it->second == flight)
+            inflight_.erase(it);
+    }
     std::string blob;
     if (!memory_.get(key, blob))
         mcd_panic("artifact vanished from the memory layer");
@@ -270,7 +364,8 @@ ArtifactCache::fetch(
 }
 
 void
-ArtifactCache::publish(const std::string &key, const std::string &blob)
+ArtifactCache::publish(const std::string &key, const std::string &blob,
+                       const std::string &provenance)
 {
     memory_.put(key, blob);
     std::shared_ptr<DiskStore> disk;
@@ -279,7 +374,7 @@ ArtifactCache::publish(const std::string &key, const std::string &blob)
         disk = disk_;
     }
     if (disk)
-        disk->put(key, blob);
+        disk->put(key, blob, provenance);
 }
 
 void
@@ -294,11 +389,13 @@ ArtifactCache::getOrRun(const ExperimentSpec &spec)
 {
     attachDiskStore(spec.config.store);
     std::string blob = fetch(
-        spec.cacheKey(), validBlob<SimStats>, [&] {
+        spec.cacheKey(), validBlob<SimStats>,
+        [&] {
             SimStats stats = runExperiment(spec);
             noteSimulation();
             return encodeArtifact(stats);
-        });
+        },
+        spec.describe());
     return decodeValidated<SimStats>(blob);
 }
 
@@ -307,7 +404,8 @@ ArtifactCache::getOrRun(const ProfileSpec &spec)
 {
     attachDiskStore(spec.config.store);
     std::string blob = fetch(
-        spec.cacheKey(), validBlob<std::vector<IntervalProfile>>, [&] {
+        spec.cacheKey(), validBlob<std::vector<IntervalProfile>>,
+        [&] {
             // One profiling simulation yields two artifacts: the
             // interval profile (this key) and the baseline MCD
             // SimStats, published under the paired experiment key so
@@ -320,11 +418,13 @@ ArtifactCache::getOrRun(const ProfileSpec &spec)
                 spec.benchmark, run.mode, run.resolvedStartFreq(),
                 controller.get());
             noteSimulation();
-            publish(run.cacheKey(), encodeArtifact(stats));
+            publish(run.cacheKey(), encodeArtifact(stats),
+                    run.describe());
             return encodeArtifact(
                 dynamic_cast<ProfilingController &>(*controller)
                     .profile());
-        });
+        },
+        spec.describe());
     return decodeValidated<std::vector<IntervalProfile>>(blob);
 }
 
@@ -333,7 +433,8 @@ ArtifactCache::getOrRun(const OfflineSearchSpec &spec)
 {
     attachDiskStore(spec.config.store);
     std::string blob = fetch(
-        spec.cacheKey(), validBlob<OfflineResult>, [&] {
+        spec.cacheKey(), validBlob<OfflineResult>,
+        [&] {
             // The search itself runs no simulation directly: its grid
             // probes are nested ExperimentSpec requests that memoize
             // (and count) themselves.
@@ -341,7 +442,8 @@ ArtifactCache::getOrRun(const OfflineSearchSpec &spec)
             return encodeArtifact(runner.searchOfflineDynamic(
                 spec.benchmark, spec.targetDeg, spec.mcdBase,
                 spec.profile));
-        });
+        },
+        spec.describe());
     return decodeValidated<OfflineResult>(blob);
 }
 
@@ -350,11 +452,13 @@ ArtifactCache::getOrRun(const GlobalMatchSpec &spec)
 {
     attachDiskStore(spec.config.store);
     std::string blob = fetch(
-        spec.cacheKey(), validBlob<GlobalResult>, [&] {
+        spec.cacheKey(), validBlob<GlobalResult>,
+        [&] {
             Runner runner(spec.config);
             return encodeArtifact(runner.searchGlobalMatching(
                 spec.benchmark, spec.targetTime));
-        });
+        },
+        spec.describe());
     return decodeValidated<GlobalResult>(blob);
 }
 
@@ -364,8 +468,18 @@ ArtifactCache::attachDiskStore(const std::string &root)
     if (root.empty())
         return;
     std::lock_guard<std::mutex> lock(mutex_);
-    if (disk_ && disk_->root() == root)
-        return;
+    if (disk_) {
+        if (disk_->root() == root)
+            return;
+        // A silent swap would strand everything already written to the
+        // attached root and blend diskHits() across unrelated stores —
+        // two specs naming different stores in one process is a
+        // configuration error, not a preference.
+        mcd_fatal("artifact store root changed mid-process: '%s' is "
+                  "attached, refusing to swap to '%s' (use one store "
+                  "per process, or detachDiskStore() first)",
+                  disk_->root().c_str(), root.c_str());
+    }
     disk_ = std::make_shared<DiskStore>(root);
 }
 
@@ -408,6 +522,13 @@ std::size_t
 ArtifactCache::size() const
 {
     return memory_.entries();
+}
+
+std::size_t
+ArtifactCache::inflightEntries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inflight_.size();
 }
 
 std::string

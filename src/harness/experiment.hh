@@ -12,12 +12,14 @@
  *   GlobalMatchSpec   -> GlobalResult    (a time-matched global-DVFS
  *                        calibration search)
  *
- * Each spec has an exact, collision-free `cacheKey()`: a namespaced
- * serialization of every field that can influence the result (raw
- * IEEE-754 bytes for doubles, length-prefixed strings; see
- * common/serial.hh). Equal keys therefore imply bit-identical
- * artifacts, and a cached artifact is indistinguishable from
- * recomputing. `RunnerConfig::jobs` and `RunnerConfig::store` are
+ * Each spec has an exact, namespaced `cacheKey()` covering every
+ * field that can influence the result (raw IEEE-754 bytes for
+ * doubles, length-prefixed strings; see common/serial.hh). Bulky
+ * nested payloads (an OfflineSearchSpec's baseline stats and interval
+ * profile) enter as fixed-width FNV-1a digests of their exact
+ * serializations rather than verbatim. Equal keys therefore imply
+ * bit-identical artifacts, and a cached artifact is indistinguishable
+ * from recomputing. `RunnerConfig::jobs` and `RunnerConfig::store` are
  * deliberately excluded — the determinism contract makes results
  * independent of worker count, and the storage location never changes
  * a value.
@@ -70,6 +72,9 @@ struct ExperimentSpec
 
     /** Short display hash of the cache key (FNV-1a, for --json). */
     std::uint64_t hash() const;
+
+    /** One-line human-readable description (provenance sidecars). */
+    std::string describe() const;
 };
 
 /**
@@ -89,15 +94,20 @@ struct ProfileSpec
 
     /** Exact, collision-free artifact key (namespace "profile"). */
     std::string cacheKey() const;
+
+    /** One-line human-readable description (provenance sidecars). */
+    std::string describe() const;
 };
 
 /**
- * A whole off-line Dynamic-X% margin search. The key embeds the full
- * baseline stats and interval profile the search tunes against (exact
- * serializations, not digests), so any change to the inputs is a
- * different artifact; under the determinism contract both are pure
- * functions of (benchmark, config), making the embedded copies
- * redundant but exact.
+ * A whole off-line Dynamic-X% margin search. The key covers the
+ * baseline stats and interval profile the search tunes against as
+ * fixed-width FNV-1a digests of their exact serializations (key format
+ * v2) — embedding the multi-KB payloads themselves made every search
+ * key giant, and it bought nothing: under the determinism contract
+ * both inputs are pure functions of (benchmark, config), so distinct
+ * inputs differing only inside a 64-bit hash collision cannot arise
+ * from real runs.
  */
 struct OfflineSearchSpec
 {
@@ -107,8 +117,11 @@ struct OfflineSearchSpec
     std::vector<IntervalProfile> profile; //!< profiling-pass output
     RunnerConfig config;
 
-    /** Exact, collision-free key (namespace "offline_search"). */
+    /** Digest-keyed artifact key (namespace "offline_search/2"). */
     std::string cacheKey() const;
+
+    /** One-line human-readable description (provenance sidecars). */
+    std::string describe() const;
 };
 
 /** A time-matched global-DVFS calibration search (ablation driver). */
@@ -120,6 +133,9 @@ struct GlobalMatchSpec
 
     /** Exact, collision-free key (namespace "global_match"). */
     std::string cacheKey() const;
+
+    /** One-line human-readable description (provenance sidecars). */
+    std::string describe() const;
 };
 
 /** Run one ExperimentSpec directly, bypassing the cache. */
@@ -171,10 +187,13 @@ class ArtifactCache
 
     /**
      * Attach the persistent layer rooted at `root` (created on
-     * demand). No-op when `root` is empty or already attached; a
-     * different root replaces the previous disk layer (the memory
-     * layer is kept). Called automatically by every getOrRun with the
-     * spec's `config.store`, so `MCD_STORE` / `--store` /
+     * demand). No-op when `root` is empty or already attached. A
+     * *different* root while one is attached is a hard error (fatal):
+     * silently swapping stores mid-process would strand everything
+     * written to the first root and mix `diskHits()` across stores —
+     * run separate processes, or `detachDiskStore()` first (tests).
+     * Called automatically by every getOrRun with the spec's
+     * `config.store`, so `MCD_STORE` / `--store` /
      * `RunnerConfig::store` all funnel through here.
      */
     void attachDiskStore(const std::string &root);
@@ -196,6 +215,15 @@ class ArtifactCache
 
     /** Distinct artifacts in the memory layer. */
     std::size_t size() const;
+
+    /**
+     * Keys currently being computed. Transiently positive while a
+     * fetch is in flight and back to zero once every request resolves
+     * — the regression surface for the historical leak where resolved
+     * flights were never erased and the map grew per unique key
+     * forever.
+     */
+    std::size_t inflightEntries() const;
 
     /** Disk-layer root directory ("" when no disk layer). */
     std::string storeRoot() const;
@@ -220,17 +248,22 @@ class ArtifactCache
 
     /**
      * The layered fetch: memory, then validated disk (promoted), then
-     * `build` (written through to both layers). `validate` re-decodes
-     * a candidate blob so corrupt or stale-version disk entries read
-     * as misses. Returns a blob that passed `validate`.
+     * `build` (written through to both layers, with `provenance` as
+     * the disk layer's sidecar text). `validate` re-decodes a
+     * candidate blob so corrupt or stale-version disk entries read as
+     * misses. Returns a blob that passed `validate`. The key's
+     * inflight slot is erased once resolved — later requests re-enter
+     * and hit the memory layer instead of an ever-growing map.
      */
     std::string
     fetch(const std::string &key,
           const std::function<bool(const std::string &)> &validate,
-          const std::function<std::string()> &build);
+          const std::function<std::string()> &build,
+          const std::string &provenance);
 
     /** Store a by-product blob under `key` in both layers. */
-    void publish(const std::string &key, const std::string &blob);
+    void publish(const std::string &key, const std::string &blob,
+                 const std::string &provenance);
 
     /** Count one simulator execution (called from build lambdas). */
     void noteSimulation();

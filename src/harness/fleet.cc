@@ -1,0 +1,247 @@
+#include "harness/fleet.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "harness/parallel_sweep.hh"
+
+extern char **environ;
+
+namespace mcd
+{
+
+namespace
+{
+
+/**
+ * The worker environment: the parent's, with MCD_STORE replaced by
+ * `store` when set. Built once per fleet, before any fork, so the
+ * child side of fork() only ever calls async-signal-safe functions.
+ */
+struct WorkerEnv
+{
+    std::vector<std::string> storage;
+    std::vector<char *> envp;
+
+    explicit WorkerEnv(const std::string &store)
+    {
+        for (char **var = environ; *var; ++var) {
+            if (!store.empty() &&
+                std::strncmp(*var, "MCD_STORE=", 10) == 0)
+                continue;
+            storage.emplace_back(*var);
+        }
+        if (!store.empty())
+            storage.push_back("MCD_STORE=" + store);
+        for (auto &var : storage)
+            envp.push_back(var.data());
+        envp.push_back(nullptr);
+    }
+};
+
+/** Drain `fd` into `out` as part of a poll loop; false once EOF. */
+bool
+drain(int fd, std::string &out)
+{
+    char buf[4096];
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+        out.append(buf, static_cast<std::size_t>(n));
+        return true;
+    }
+    return n < 0 && (errno == EAGAIN || errno == EINTR);
+}
+
+/**
+ * Run one attempt of a target: fork/exec with stdout and stderr
+ * captured through pipes (read interleaved via poll, so neither pipe
+ * can fill and deadlock the child), then reap it. Returns the exit
+ * code: 0..255 from _exit, 128+signo for signals, 127 when the exec
+ * itself failed.
+ */
+int
+runAttempt(const FleetTarget &target, const WorkerEnv &env,
+           std::string &out_text, std::string &err_text)
+{
+    out_text.clear();
+    err_text.clear();
+
+    // O_CLOEXEC: worker threads fork concurrently, and a sibling's
+    // child inheriting our write ends would hold this target's pipes
+    // open (no EOF) until that unrelated child exits. dup2 below
+    // clears the flag on the child's own stdout/stderr copies.
+    int out_pipe[2];
+    int err_pipe[2];
+    if (::pipe2(out_pipe, O_CLOEXEC) != 0 ||
+        ::pipe2(err_pipe, O_CLOEXEC) != 0)
+        mcd_fatal("fleet: cannot create pipes for '%s'",
+                  target.name.c_str());
+
+    std::vector<char *> argv;
+    for (const auto &arg : target.argv)
+        argv.push_back(const_cast<char *>(arg.c_str()));
+    argv.push_back(nullptr);
+
+    pid_t pid = ::fork();
+    if (pid < 0)
+        mcd_fatal("fleet: fork failed for '%s'", target.name.c_str());
+    if (pid == 0) {
+        // Child: async-signal-safe territory only.
+        ::dup2(out_pipe[1], STDOUT_FILENO);
+        ::dup2(err_pipe[1], STDERR_FILENO);
+        ::close(out_pipe[0]);
+        ::close(out_pipe[1]);
+        ::close(err_pipe[0]);
+        ::close(err_pipe[1]);
+        ::execvpe(argv[0], argv.data(),
+                  const_cast<char *const *>(env.envp.data()));
+        ::_exit(127);
+    }
+
+    ::close(out_pipe[1]);
+    ::close(err_pipe[1]);
+    ::fcntl(out_pipe[0], F_SETFL, O_NONBLOCK);
+    ::fcntl(err_pipe[0], F_SETFL, O_NONBLOCK);
+
+    bool out_open = true;
+    bool err_open = true;
+    while (out_open || err_open) {
+        struct pollfd fds[2];
+        nfds_t nfds = 0;
+        if (out_open)
+            fds[nfds++] = {out_pipe[0], POLLIN, 0};
+        if (err_open)
+            fds[nfds++] = {err_pipe[0], POLLIN, 0};
+        if (::poll(fds, nfds, -1) < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (out_open && !drain(out_pipe[0], out_text))
+            out_open = false;
+        if (err_open && !drain(err_pipe[0], err_text))
+            err_open = false;
+    }
+    ::close(out_pipe[0]);
+    ::close(err_pipe[0]);
+
+    int status = 0;
+    while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    if (WIFEXITED(status))
+        return WEXITSTATUS(status);
+    if (WIFSIGNALED(status))
+        return 128 + WTERMSIG(status);
+    return -1;
+}
+
+} // namespace
+
+FleetStoreStats
+parseStoreStatsLine(const std::string &stderr_text)
+{
+    FleetStoreStats stats;
+    std::size_t pos = 0;
+    while (pos < stderr_text.size()) {
+        std::size_t end = stderr_text.find('\n', pos);
+        if (end == std::string::npos)
+            end = stderr_text.size();
+        std::string line = stderr_text.substr(pos, end - pos);
+        pos = end + 1;
+
+        unsigned long long lookups, hits, disk_hits, sims;
+        if (std::sscanf(line.c_str(),
+                        "store: lookups=%llu hits=%llu disk_hits=%llu "
+                        "simulations=%llu",
+                        &lookups, &hits, &disk_hits, &sims) == 4) {
+            // Keep the last line: a worker that reports more than once
+            // ends with its final, complete counters.
+            stats.present = true;
+            stats.lookups = lookups;
+            stats.hits = hits;
+            stats.diskHits = disk_hits;
+            stats.simulations = sims;
+        }
+    }
+    return stats;
+}
+
+FleetReport
+runFleet(const std::vector<FleetTarget> &targets,
+         const FleetOptions &options)
+{
+    for (const auto &target : targets)
+        if (target.argv.empty())
+            mcd_fatal("fleet: target '%s' has an empty command",
+                      target.name.c_str());
+
+    WorkerEnv env(options.store);
+    int procs = std::max(1, options.procs);
+    int attempts_allowed = 1 + std::max(0, options.retries);
+
+    std::fprintf(stderr,
+                 "fleet: %zu targets on %d worker processes%s%s\n",
+                 targets.size(), procs,
+                 options.store.empty() ? "" : ", store ",
+                 options.store.c_str());
+
+    // ParallelSweep gives the work-queue scheduling and the
+    // deterministic result slots; each job blocks on one child
+    // process at a time, so `procs` threads bound the live children.
+    ParallelSweep pool(procs);
+    FleetReport report;
+    report.targets = pool.map<FleetResult>(
+        targets.size(), [&](std::size_t i) {
+            const FleetTarget &target = targets[i];
+            FleetResult result;
+            result.name = target.name;
+            for (int attempt = 1; attempt <= attempts_allowed;
+                 ++attempt) {
+                result.attempts = attempt;
+                result.exitCode = runAttempt(target, env,
+                                             result.stdoutText,
+                                             result.stderrText);
+                result.succeeded = result.exitCode == 0;
+                if (result.succeeded)
+                    break;
+                std::fprintf(
+                    stderr,
+                    "fleet: %s attempt %d/%d failed (exit %d)%s\n",
+                    target.name.c_str(), attempt, attempts_allowed,
+                    result.exitCode,
+                    attempt < attempts_allowed ? ", retrying" : "");
+            }
+            result.store = parseStoreStatsLine(result.stderrText);
+            std::fprintf(stderr, "fleet: done %s exit=%d attempts=%d "
+                                 "simulations=%" PRIu64 "\n",
+                         target.name.c_str(), result.exitCode,
+                         result.attempts, result.store.simulations);
+            return result;
+        });
+
+    for (const auto &result : report.targets) {
+        if (!result.succeeded)
+            ++report.failed;
+        if (result.attempts > 1)
+            ++report.retried;
+        if (result.store.present) {
+            report.merged.present = true;
+            report.merged.lookups += result.store.lookups;
+            report.merged.hits += result.store.hits;
+            report.merged.diskHits += result.store.diskHits;
+            report.merged.simulations += result.store.simulations;
+        }
+    }
+    return report;
+}
+
+} // namespace mcd

@@ -10,10 +10,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <unistd.h>
@@ -159,6 +162,181 @@ TEST_F(StoreTest, DiskStoreDetectsFileNameCollisions)
     EXPECT_EQ(blob, "payload-a");
 }
 
+// ------------------------------------------------- lifecycle and GC
+
+namespace
+{
+
+/** Read a whole file ("" when missing). */
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+}
+
+/** Push a file's mtime `seconds` into the past. */
+void
+ageFile(const std::string &path, std::int64_t seconds)
+{
+    fs::last_write_time(path, fs::last_write_time(path) -
+                                  std::chrono::seconds(seconds));
+}
+
+} // namespace
+
+TEST_F(StoreTest, EnumerateAndRemoveEntry)
+{
+    DiskStore store(root_);
+    store.put("key-a", "payload-a", "type=test name=a");
+    store.put("key-b", "payload-b");
+
+    auto infos = store.enumerate();
+    ASSERT_EQ(infos.size(), 2u);
+    EXPECT_LT(infos[0].stem, infos[1].stem); // sorted, deterministic
+    for (const auto &info : infos) {
+        EXPECT_EQ(info.stem.size(), 16u);
+        EXPECT_GT(info.bytes, 0u);
+        EXPECT_GE(info.ageSeconds, 0);
+    }
+
+    // Only key-a carries a provenance sidecar, readable by anything.
+    std::string meta = slurp(store.sidecarPathFor("key-a"));
+    EXPECT_NE(meta.find("type=test name=a"), std::string::npos);
+    EXPECT_NE(meta.find("key_fnv1a="), std::string::npos);
+    EXPECT_FALSE(fs::exists(store.sidecarPathFor("key-b")));
+
+    EXPECT_TRUE(store.removeEntry("key-a"));
+    EXPECT_FALSE(store.removeEntry("key-a")); // already gone
+    std::string blob;
+    EXPECT_FALSE(store.get("key-a", blob));
+    EXPECT_FALSE(fs::exists(store.sidecarPathFor("key-a")));
+    ASSERT_TRUE(store.get("key-b", blob));
+    EXPECT_EQ(store.entries(), 1u);
+}
+
+TEST_F(StoreTest, TempOrphansAreInvisibleAndSwept)
+{
+    DiskStore store(root_);
+    store.put("key", "payload");
+    std::size_t entries_before = store.entries();
+    std::uint64_t bytes_before = store.bytes();
+
+    // A writer that died between temp-write and rename (the temp name
+    // pattern put() uses), plus a foreign file that merely looks
+    // temp-ish — the sweep must only ever unlink the former.
+    std::string orphan =
+        store.pathFor("other-key") + ".tmp.99999.7";
+    std::ofstream(orphan, std::ios::binary) << "half-written entry";
+    ASSERT_TRUE(fs::exists(orphan));
+    std::string foreign = root_ + "/results.tmp.tar.gz";
+    std::ofstream(foreign, std::ios::binary) << "not ours";
+
+    // Orphans are not entries: counts and bytes are unaffected.
+    EXPECT_EQ(store.entries(), entries_before);
+    EXPECT_EQ(store.bytes(), bytes_before);
+
+    // A young temp file survives an aged sweep; a stale one does not.
+    DiskStore::PruneOptions gentle;
+    gentle.tmpAgeSeconds = 3600;
+    EXPECT_EQ(store.prune(gentle).tmpsRemoved, 0u);
+    ASSERT_TRUE(fs::exists(orphan));
+
+    DiskStore::PruneOptions sweep;
+    sweep.tmpAgeSeconds = 0;
+    DiskStore::PruneReport report = store.prune(sweep);
+    EXPECT_EQ(report.tmpsRemoved, 1u);
+    EXPECT_EQ(report.entriesRemoved, 0u);
+    EXPECT_EQ(report.entriesKept, 1u);
+    EXPECT_FALSE(fs::exists(orphan));
+    EXPECT_TRUE(fs::exists(foreign)); // never touch foreign files
+    std::string blob;
+    ASSERT_TRUE(store.get("key", blob)); // the real entry is intact
+    EXPECT_EQ(blob, "payload");
+}
+
+TEST_F(StoreTest, PruneEvictsByAgeThenOldestFirstToTheByteBudget)
+{
+    DiskStore store(root_);
+    store.put("key-a", std::string(100, 'a'), "name=a");
+    store.put("key-b", std::string(100, 'b'), "name=b");
+    store.put("key-c", std::string(100, 'c'), "name=c");
+    ageFile(store.pathFor("key-a"), 5000);
+    ageFile(store.pathFor("key-b"), 3000);
+    std::uint64_t total = store.bytes();
+    std::uint64_t each = total / 3;
+
+    // Age limit: only key-a is older than 4000 s.
+    DiskStore::PruneOptions by_age;
+    by_age.maxAgeSeconds = 4000;
+    DiskStore::PruneReport first = store.prune(by_age);
+    EXPECT_EQ(first.entriesRemoved, 1u);
+    EXPECT_EQ(first.sidecarsRemoved, 1u);
+    std::string blob;
+    EXPECT_FALSE(store.get("key-a", blob));
+    EXPECT_FALSE(fs::exists(store.sidecarPathFor("key-a")));
+    ASSERT_TRUE(store.get("key-b", blob));
+
+    // Byte budget for one entry: the older key-b goes, key-c stays.
+    DiskStore::PruneOptions by_size;
+    by_size.maxBytes = each + each / 2;
+    DiskStore::PruneReport second = store.prune(by_size);
+    EXPECT_EQ(second.entriesRemoved, 1u);
+    EXPECT_EQ(second.entriesKept, 1u);
+    EXPECT_LE(second.bytesKept, by_size.maxBytes);
+    EXPECT_FALSE(store.get("key-b", blob));
+    ASSERT_TRUE(store.get("key-c", blob));
+    EXPECT_EQ(blob, std::string(100, 'c'));
+    EXPECT_LE(store.bytes(), by_size.maxBytes);
+}
+
+TEST_F(StoreTest, ConcurrentPruneRacingPutMissesAndHealsOnly)
+{
+    // One thread keeps writing, one keeps evicting everything, one
+    // keeps reading: a reader must see either a miss or the exact
+    // payload of its key — never a wrong or torn value. (Temp sweeps
+    // stay age-gated, as in production, so live writes are never hit.)
+    DiskStore store(root_);
+    auto payloadOf = [](int i) {
+        return std::string("payload-") + std::to_string(i) +
+               std::string(64, static_cast<char>('a' + i % 26));
+    };
+    std::atomic<bool> stop{false};
+    std::atomic<int> wrong{0};
+
+    std::thread writer([&] {
+        for (int i = 0; !stop.load(); i = (i + 1) % 8)
+            store.put("key-" + std::to_string(i), payloadOf(i));
+    });
+    std::thread pruner([&] {
+        DiskStore::PruneOptions evict_all;
+        evict_all.maxBytes = 1; // evict every entry seen
+        while (!stop.load())
+            store.prune(evict_all);
+    });
+    std::thread reader([&] {
+        for (int i = 0; !stop.load(); i = (i + 1) % 8) {
+            std::string blob;
+            if (store.get("key-" + std::to_string(i), blob) &&
+                blob != payloadOf(i))
+                ++wrong;
+        }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    stop = true;
+    writer.join();
+    pruner.join();
+    reader.join();
+    EXPECT_EQ(wrong.load(), 0);
+
+    // The store heals: a final put is readable and counted.
+    store.put("key-0", payloadOf(0));
+    std::string blob;
+    ASSERT_TRUE(store.get("key-0", blob));
+    EXPECT_EQ(blob, payloadOf(0));
+}
+
 // ------------------------------------------------------ layered cache
 
 TEST_F(StoreTest, WarmDiskStoreServesAColdProcessWithZeroSimulations)
@@ -300,6 +478,51 @@ TEST_F(StoreTest, OfflineSearchResultPersistsAcrossProcesses)
 
     cache.clear();
     cache.detachDiskStore();
+}
+
+TEST_F(StoreTest, CacheWritesProvenanceSidecars)
+{
+    ExperimentSpec spec = tinySpec();
+    ArtifactCache cache;
+    cache.getOrRun(spec);
+
+    DiskStore store(root_);
+    std::string meta = slurp(store.sidecarPathFor(spec.cacheKey()));
+    EXPECT_NE(meta.find("type=experiment"), std::string::npos);
+    EXPECT_NE(meta.find("benchmark=gsm"), std::string::npos);
+    EXPECT_NE(meta.find("seed="), std::string::npos);
+
+    auto infos = store.enumerate();
+    ASSERT_EQ(infos.size(), 1u);
+    EXPECT_TRUE(infos[0].hasSidecar);
+    // Sidecars are metadata, not entries: the counters ignore them.
+    EXPECT_EQ(store.entries(), 1u);
+}
+
+TEST_F(StoreTest, MidProcessStoreRootSwapIsFatal)
+{
+    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    ArtifactCache cache;
+    cache.attachDiskStore(root_);
+    cache.attachDiskStore(root_); // same root: a no-op
+    EXPECT_EQ(cache.storeRoot(), root_);
+    EXPECT_EXIT(cache.attachDiskStore(root_ + ".elsewhere"),
+                ::testing::ExitedWithCode(1),
+                "artifact store root changed mid-process");
+
+    // Specs are the production path into attachDiskStore: a spec
+    // naming a different store must die the same way, not strand the
+    // attached root's artifacts.
+    ExperimentSpec conflicting = tinySpec();
+    conflicting.config.store = root_ + ".elsewhere";
+    EXPECT_EXIT(cache.getOrRun(conflicting),
+                ::testing::ExitedWithCode(1),
+                "artifact store root changed mid-process");
+
+    // detach-then-attach (the sanctioned test idiom) still works.
+    cache.detachDiskStore();
+    cache.attachDiskStore(root_);
+    EXPECT_EQ(cache.storeRoot(), root_);
 }
 
 TEST_F(StoreTest, GlobalMatchResultPersistsAcrossProcesses)

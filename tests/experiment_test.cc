@@ -168,6 +168,56 @@ TEST(ExperimentSpec, SearchSpecKeysCoverTheirInputs)
     EXPECT_NE(gbase.cacheKey(), gtime.cacheKey());
 }
 
+TEST(ExperimentSpec, OfflineSearchKeysAreDigestSizedNotPayloadSized)
+{
+    // Key format v2: the baseline stats and interval profile enter as
+    // fixed-width digests, so the key must not grow with the profile
+    // (v1 embedded both payloads, producing multi-KB keys duplicated
+    // into every store entry).
+    OfflineSearchSpec small;
+    small.benchmark = "gsm";
+    small.config = tinyConfig();
+
+    OfflineSearchSpec big = small;
+    big.profile.resize(5000);
+    for (std::size_t i = 0; i < big.profile.size(); ++i)
+        big.profile[i].instructions = i;
+
+    EXPECT_EQ(small.cacheKey().size(), big.cacheKey().size());
+    EXPECT_LT(big.cacheKey().size(), 600u);
+    EXPECT_NE(small.cacheKey(), big.cacheKey());
+    EXPECT_NE(big.cacheKey().find("offline_search/2"),
+              std::string::npos);
+
+    // The digests still cover the payloads: a one-field flip anywhere
+    // inside either nested input is a different key.
+    OfflineSearchSpec flipped_profile = big;
+    flipped_profile.profile[4999].ipc = 1.0e-9;
+    EXPECT_NE(big.cacheKey(), flipped_profile.cacheKey());
+    OfflineSearchSpec flipped_base = big;
+    flipped_base.mcdBase.chipEnergy += 1.0;
+    EXPECT_NE(big.cacheKey(), flipped_base.cacheKey());
+}
+
+TEST(ExperimentSpec, DescribeNamesTheSpecForProvenance)
+{
+    ExperimentSpec spec = tinySpec("gsm");
+    spec.controller = attackDecaySpec(AttackDecayConfig{});
+    std::string text = spec.describe();
+    EXPECT_NE(text.find("type=experiment"), std::string::npos);
+    EXPECT_NE(text.find("benchmark=gsm"), std::string::npos);
+    EXPECT_NE(text.find("controller=attack_decay"), std::string::npos);
+
+    OfflineSearchSpec search;
+    search.benchmark = "em3d";
+    search.targetDeg = 0.05;
+    search.config = tinyConfig();
+    EXPECT_NE(search.describe().find("type=offline_search"),
+              std::string::npos);
+    EXPECT_NE(search.describe().find("target_deg=0.05"),
+              std::string::npos);
+}
+
 TEST(ExperimentSpec, ExplicitMaxFrequencyMatchesDefault)
 {
     ExperimentSpec implicit = tinySpec("gsm");
@@ -307,6 +357,39 @@ TEST_F(ArtifactCacheTest, BatchDeduplicatesAgainstItselfAndTheCache)
     auto again = runExperiments({spec}, 1);
     EXPECT_EQ(cache.simulationsRun(), 1u);
     EXPECT_EQ(again[0].time, results[0].time);
+}
+
+TEST_F(ArtifactCacheTest, InflightMapDrainsOnceRequestsResolve)
+{
+    // Regression: fetch used to leave one resolved Inflight per unique
+    // key in the map forever, growing it by every spec a process ever
+    // requested. The map must be empty whenever no request is active —
+    // including after concurrent batches, repeats, and nested
+    // (search-probe) requests.
+    ArtifactCache &cache = ArtifactCache::instance();
+    EXPECT_EQ(cache.inflightEntries(), 0u);
+
+    std::vector<ExperimentSpec> batch;
+    for (const char *bench : {"gsm", "em3d", "adpcm"}) {
+        batch.push_back(tinySpec(bench));
+        batch.push_back(tinySpec(bench)); // duplicates share a flight
+    }
+    runExperiments(batch, 4);
+    EXPECT_EQ(cache.inflightEntries(), 0u);
+    EXPECT_EQ(cache.size(), 3u);
+
+    cache.getOrRun(tinySpec("gsm")); // re-request after the erase
+    EXPECT_EQ(cache.simulationsRun(), 3u);
+    EXPECT_EQ(cache.inflightEntries(), 0u);
+
+    // Nested requests: an offline search fans out probe requests
+    // through the same map.
+    Runner runner(tinyConfig());
+    std::vector<IntervalProfile> profile;
+    SimStats mcd = runner.runMcdBaseline("gsm", &profile);
+    runner.runOfflineDynamic("gsm", 0.05, mcd, profile);
+    EXPECT_GT(cache.lookups(), 6u);
+    EXPECT_EQ(cache.inflightEntries(), 0u);
 }
 
 TEST_F(ArtifactCacheTest, SyntheticScenariosRunThroughTheLayer)

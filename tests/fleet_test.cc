@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Tests for the fleet driver (harness/fleet.hh): store-stats line
+ * parsing, deterministic collation for any worker-process count,
+ * MCD_STORE injection into workers, crash-and-retry, and — by
+ * re-executing this binary as a fleet worker (FleetWorker.Run below)
+ * — real cross-process artifact sharing: an N-process fleet collates
+ * bit-identical simulation results to a 1-process fleet, and a second
+ * fleet over the warm store runs zero simulations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/env.hh"
+#include "harness/experiment.hh"
+#include "harness/fleet.hh"
+
+namespace mcd
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+std::string
+selfPath()
+{
+    char buf[4096];
+    ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n <= 0)
+        return "";
+    buf[n] = '\0';
+    return buf;
+}
+
+FleetTarget
+shellTarget(const std::string &name, const std::string &script)
+{
+    FleetTarget target;
+    target.name = name;
+    target.argv = {"/bin/sh", "-c", script};
+    return target;
+}
+
+/** The simulation lines a FleetWorker.Run child printed. */
+std::string
+workerLines(const std::string &stdout_text)
+{
+    std::string out;
+    std::size_t pos = 0;
+    while (pos < stdout_text.size()) {
+        std::size_t end = stdout_text.find('\n', pos);
+        if (end == std::string::npos)
+            end = stdout_text.size();
+        std::string line = stdout_text.substr(pos, end - pos);
+        pos = end + 1;
+        if (line.rfind("MCDW ", 0) == 0)
+            out += line + "\n";
+    }
+    return out;
+}
+
+class FleetTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        dir_ = (fs::temp_directory_path() /
+                (std::string("mcd_fleet_test.") + info->name() + "." +
+                 std::to_string(::getpid())))
+                   .string();
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+    }
+
+    void TearDown() override { fs::remove_all(dir_); }
+
+    /** A fleet of FleetWorker.Run children, one per benchmark. */
+    std::vector<FleetTarget>
+    workerTargets(const std::vector<std::string> &benches) const
+    {
+        std::vector<FleetTarget> targets;
+        for (const auto &bench : benches) {
+            // The per-target benchmark travels in the command line (the
+            // fleet's env hook only carries the shared MCD_STORE); the
+            // "$0" after `sh -c <script>` is this test binary.
+            FleetTarget target = shellTarget(
+                bench, "MCD_FLEET_WORKER_BENCH=" + bench +
+                           " exec \"$0\" --gtest_filter=FleetWorker.Run"
+                           " --gtest_brief=1");
+            target.argv.push_back(selfPath());
+            targets.push_back(std::move(target));
+        }
+        return targets;
+    }
+
+    std::string dir_;
+};
+
+// ------------------------------------------------------ stats parsing
+
+TEST(FleetStoreStatsLine, ParsesTheLastStoreLine)
+{
+    FleetStoreStats none = parseStoreStatsLine("no such line\n");
+    EXPECT_FALSE(none.present);
+
+    FleetStoreStats one = parseStoreStatsLine(
+        "  running 2 benchmarks on 4 workers\n"
+        "store: lookups=10 hits=3 disk_hits=2 simulations=7 "
+        "disk_entries=9 disk_bytes=123 root=/tmp/s\n");
+    EXPECT_TRUE(one.present);
+    EXPECT_EQ(one.lookups, 10u);
+    EXPECT_EQ(one.hits, 3u);
+    EXPECT_EQ(one.diskHits, 2u);
+    EXPECT_EQ(one.simulations, 7u);
+
+    // A worker that reports twice ends with its final counters.
+    FleetStoreStats last = parseStoreStatsLine(
+        "store: lookups=1 hits=0 disk_hits=0 simulations=1\n"
+        "store: lookups=5 hits=2 disk_hits=1 simulations=3\n");
+    EXPECT_TRUE(last.present);
+    EXPECT_EQ(last.lookups, 5u);
+    EXPECT_EQ(last.simulations, 3u);
+}
+
+// ------------------------------------------------------- shell fleets
+
+TEST_F(FleetTest, CollationIsInSubmissionOrderForAnyProcCount)
+{
+    std::vector<FleetTarget> targets;
+    for (int i = 0; i < 6; ++i)
+        // Reverse-sorted sleeps: completion order opposes submission
+        // order, so only deterministic collation passes.
+        targets.push_back(shellTarget(
+            "t" + std::to_string(i),
+            "sleep 0." + std::to_string(6 - i) + "; echo target " +
+                std::to_string(i)));
+
+    FleetOptions serial;
+    serial.procs = 1;
+    FleetOptions wide;
+    wide.procs = 4;
+    FleetReport a = runFleet(targets, serial);
+    FleetReport b = runFleet(targets, wide);
+
+    ASSERT_EQ(a.targets.size(), 6u);
+    ASSERT_EQ(b.targets.size(), 6u);
+    std::string collated_a, collated_b;
+    for (std::size_t i = 0; i < 6; ++i) {
+        EXPECT_EQ(a.targets[i].stdoutText,
+                  "target " + std::to_string(i) + "\n");
+        collated_a += a.targets[i].stdoutText;
+        collated_b += b.targets[i].stdoutText;
+    }
+    EXPECT_EQ(collated_a, collated_b);
+    EXPECT_EQ(a.failed, 0u);
+    EXPECT_EQ(b.failed, 0u);
+}
+
+TEST_F(FleetTest, WorkersSeeTheFleetStore)
+{
+    FleetOptions options;
+    options.store = dir_ + "/store";
+    FleetReport report = runFleet(
+        {shellTarget("env-probe", "echo store=$MCD_STORE")}, options);
+    ASSERT_EQ(report.targets.size(), 1u);
+    EXPECT_EQ(report.targets[0].stdoutText,
+              "store=" + dir_ + "/store\n");
+}
+
+TEST_F(FleetTest, CrashedWorkerIsRetriedAndRecovers)
+{
+    // First attempt kills itself; the marker file makes the retry
+    // succeed. Exactly the died-mid-figure scenario retry exists for.
+    std::string marker = dir_ + "/crashed-once";
+    FleetTarget flaky = shellTarget(
+        "flaky", "if [ ! -e " + marker + " ]; then touch " + marker +
+                     "; kill -9 $$; fi; echo recovered");
+
+    FleetOptions options;
+    options.retries = 1;
+    FleetReport report = runFleet({flaky}, options);
+    ASSERT_EQ(report.targets.size(), 1u);
+    EXPECT_TRUE(report.targets[0].succeeded);
+    EXPECT_EQ(report.targets[0].attempts, 2);
+    EXPECT_EQ(report.targets[0].exitCode, 0);
+    EXPECT_EQ(report.targets[0].stdoutText, "recovered\n");
+    EXPECT_EQ(report.failed, 0u);
+    EXPECT_EQ(report.retried, 1u);
+}
+
+TEST_F(FleetTest, ExhaustedRetriesReportFailure)
+{
+    FleetOptions options;
+    options.retries = 2;
+    FleetReport report =
+        runFleet({shellTarget("doomed", "exit 3")}, options);
+    ASSERT_EQ(report.targets.size(), 1u);
+    EXPECT_FALSE(report.targets[0].succeeded);
+    EXPECT_EQ(report.targets[0].attempts, 3);
+    EXPECT_EQ(report.targets[0].exitCode, 3);
+    EXPECT_EQ(report.failed, 1u);
+}
+
+// ------------------------------------- cross-process store sharing
+
+/**
+ * Worker mode: when MCD_FLEET_WORKER_BENCH is set (the fleet tests
+ * spawn this binary with it), run one tiny experiment against the
+ * fleet's MCD_STORE through a fresh cache — a cold process — and
+ * print exact results (hex floats) plus the `store:` stderr line the
+ * driver merges. Skipped in a normal test run.
+ */
+TEST(FleetWorker, Run)
+{
+    const char *bench = std::getenv("MCD_FLEET_WORKER_BENCH");
+    if (bench == nullptr)
+        GTEST_SKIP() << "fleet-worker mode only";
+
+    ExperimentSpec spec;
+    spec.benchmark = bench;
+    spec.config.instructions = 3000;
+    spec.config.warmup = 500;
+    spec.config.intervalInstructions = 500;
+    spec.config.store = envString("MCD_STORE");
+
+    ArtifactCache cache;
+    SimStats stats = cache.getOrRun(spec);
+    std::printf("MCDW %s time=%llu fe_cycles=%llu energy=%a cpi=%a\n",
+                bench, static_cast<unsigned long long>(stats.time),
+                static_cast<unsigned long long>(stats.feCycles),
+                stats.chipEnergy, stats.cpi);
+    std::fprintf(
+        stderr,
+        "store: lookups=%llu hits=%llu disk_hits=%llu "
+        "simulations=%llu\n",
+        static_cast<unsigned long long>(cache.lookups()),
+        static_cast<unsigned long long>(cache.hits()),
+        static_cast<unsigned long long>(cache.diskHits()),
+        static_cast<unsigned long long>(cache.simulationsRun()));
+}
+
+TEST_F(FleetTest, ProcessCountNeverChangesResultsAndWarmFleetIsFree)
+{
+    ASSERT_FALSE(selfPath().empty());
+    std::vector<std::string> benches = {"gsm", "em3d"};
+
+    // Cold 1-process fleet against store A.
+    FleetOptions serial;
+    serial.procs = 1;
+    serial.store = dir_ + "/store-serial";
+    FleetReport cold_serial = runFleet(workerTargets(benches), serial);
+
+    // Cold 2-process fleet against store B.
+    FleetOptions wide;
+    wide.procs = 2;
+    wide.store = dir_ + "/store-wide";
+    FleetReport cold_wide = runFleet(workerTargets(benches), wide);
+
+    ASSERT_EQ(cold_serial.failed, 0u);
+    ASSERT_EQ(cold_wide.failed, 0u);
+    for (std::size_t i = 0; i < benches.size(); ++i) {
+        std::string lines =
+            workerLines(cold_serial.targets[i].stdoutText);
+        EXPECT_FALSE(lines.empty());
+        // Bit-identity across process counts: hex-float equality.
+        EXPECT_EQ(lines, workerLines(cold_wide.targets[i].stdoutText));
+        EXPECT_TRUE(cold_wide.targets[i].store.present);
+        EXPECT_EQ(cold_wide.targets[i].store.simulations, 1u);
+    }
+    EXPECT_EQ(cold_wide.merged.simulations, benches.size());
+
+    // A second fleet over the warm store: zero simulations, same
+    // bytes — the determinism contract across process boundaries.
+    FleetReport warm = runFleet(workerTargets(benches), wide);
+    ASSERT_EQ(warm.failed, 0u);
+    EXPECT_EQ(warm.merged.simulations, 0u);
+    EXPECT_EQ(warm.merged.diskHits, benches.size());
+    for (std::size_t i = 0; i < benches.size(); ++i)
+        EXPECT_EQ(workerLines(warm.targets[i].stdoutText),
+                  workerLines(cold_wide.targets[i].stdoutText));
+}
+
+} // namespace
+} // namespace mcd
