@@ -23,10 +23,9 @@ standardConfig()
 AttackDecayConfig
 scaledAttackDecay()
 {
-    AttackDecayConfig config;
-    config.decay = 0.0125;
-    config.perfDegThreshold = 0.015;
-    return config;
+    // Single definition in src/control (the stress-lab tournament's
+    // default entries build from the same constants).
+    return scaledAttackDecayConfig();
 }
 
 std::vector<std::string>

@@ -59,19 +59,12 @@ struct ComputeOptions
 RunnerConfig standardConfig();
 
 /**
- * The Attack/Decay configuration used for scaled runs. Identical to
- * the paper's Section 5 configuration except for two interval-scaling
- * compensations (DESIGN.md substitution 4):
- *  - Decay = 1.25% instead of 0.175%: our runs compress the number of
- *    control epochs ~40x, so the decay-per-epoch must rise for the
- *    frequency envelope to cover the same range. 1.25% sits inside the
- *    flat-optimal decay region of the paper's own Figure 6(a)
- *    sensitivity sweep, and is the decay value of the paper's Figure 5
- *    configuration (1.000_06.0_1.250_X.X).
- *  - PerfDegThreshold = 1.5% instead of 2.5%: per-interval IPC is
- *    noisier over 1,000-instruction epochs, so the guard must trip
- *    earlier to catch the same real slowdowns. 1.5% is inside the
- *    paper's Table 2 parameter range.
+ * The Attack/Decay configuration used for scaled runs: the paper's
+ * Section 5 configuration with two interval-scaling compensations
+ * (Decay = 1.25 %, PerfDegThreshold = 1.5 %). The single definition
+ * — with the full rationale — is `scaledAttackDecayConfig()` in
+ * control/attack_decay.hh; this wrapper is kept for the benches'
+ * existing call sites.
  */
 AttackDecayConfig scaledAttackDecay();
 

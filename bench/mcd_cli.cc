@@ -45,6 +45,7 @@
 #include "bench_util.hh"
 #include "common/env.hh"
 #include "common/logging.hh"
+#include "eval/tournament.hh"
 #include "harness/artifact_store.hh"
 #include "harness/experiment.hh"
 #include "harness/fleet.hh"
@@ -116,14 +117,29 @@ listRegistries(bool json)
     ScenarioRegistry &scenarios = ScenarioRegistry::instance();
     ControllerRegistry &controllers = ControllerRegistry::instance();
 
+    // Fixed scenarios grouped by family: the paper's applications by
+    // suite (registration order kept within each group), then the
+    // parametric template families with their full knob sets.
+    std::vector<std::string> suites;
+    for (const auto &name : scenarios.scenarioNames()) {
+        std::string suite = scenarios.spec(name).suite;
+        if (std::find(suites.begin(), suites.end(), suite) ==
+            suites.end())
+            suites.push_back(suite);
+    }
+
     if (json) {
         std::string out = "{\n  \"scenarios\": [";
         bool first = true;
-        for (const auto &name : scenarios.scenarioNames()) {
-            out += first ? "\n" : ",\n";
-            first = false;
-            out += "    {\"name\": " + jsonStr(name) + ", \"suite\": " +
-                   jsonStr(scenarios.spec(name).suite) + "}";
+        for (const auto &suite : suites) {
+            for (const auto &name : scenarios.scenarioNames()) {
+                if (scenarios.spec(name).suite != suite)
+                    continue;
+                out += first ? "\n" : ",\n";
+                first = false;
+                out += "    {\"name\": " + jsonStr(name) +
+                       ", \"suite\": " + jsonStr(suite) + "}";
+            }
         }
         out += "\n  ],\n  \"families\": [";
         first = true;
@@ -132,7 +148,15 @@ listRegistries(bool json)
             first = false;
             out += "    {\"prefix\": " + jsonStr(family.prefix) +
                    ", \"description\": " + jsonStr(family.description) +
-                   "}";
+                   ", \"knobs\": [";
+            bool first_knob = true;
+            for (const auto &knob : family.knobs) {
+                out += first_knob ? "" : ", ";
+                first_knob = false;
+                out += "{\"name\": " + jsonStr(knob.name) +
+                       ", \"doc\": " + jsonStr(knob.doc) + "}";
+            }
+            out += "]}";
         }
         out += "\n  ],\n  \"controllers\": [";
         first = true;
@@ -148,17 +172,24 @@ listRegistries(bool json)
         return;
     }
 
-    TextTable scenario_table("scenarios");
-    scenario_table.setHeader({"name", "suite"});
-    for (const auto &name : scenarios.scenarioNames())
-        scenario_table.addRow({name, scenarios.spec(name).suite});
-    std::printf("%s\n", scenario_table.render().c_str());
+    for (const auto &suite : suites) {
+        TextTable suite_table("paper applications — " + suite);
+        suite_table.setHeader({"name"});
+        for (const auto &name : scenarios.scenarioNames())
+            if (scenarios.spec(name).suite == suite)
+                suite_table.addRow({name});
+        std::printf("%s\n", suite_table.render().c_str());
+    }
 
-    TextTable family_table("scenario families");
-    family_table.setHeader({"prefix", "description"});
-    for (const auto &family : scenarios.families())
-        family_table.addRow({family.prefix, family.description});
-    std::printf("%s\n", family_table.render().c_str());
+    for (const auto &family : scenarios.families()) {
+        TextTable family_table("scenario template — " + family.prefix +
+                               "<k=v,...>  (" + family.description +
+                               ")");
+        family_table.setHeader({"knob", "doc"});
+        for (const auto &knob : family.knobs)
+            family_table.addRow({knob.name, knob.doc});
+        std::printf("%s\n", family_table.render().c_str());
+    }
 
     TextTable controller_table("controllers");
     controller_table.setHeader({"name", "description"});
@@ -393,6 +424,194 @@ fleetCli(const std::vector<std::string> &names, int procs, int retries,
     return report.failed == 0 ? 0 : 1;
 }
 
+// ------------------------------------------------------- tournament
+
+std::string
+tournamentCellJson(const TournamentCell &cell)
+{
+    std::string out = "      {";
+    out += "\"scenario\": " + jsonStr(cell.scenario);
+    out += ", \"controller\": " + jsonStr(cell.controller);
+    out += ", \"mean_freq_error\": " +
+           jsonNum(cell.regret.meanFreqError);
+    out += ", \"worst_freq_error\": " +
+           jsonNum(cell.regret.worstFreqError);
+    out += ", \"edp_gap\": " + jsonNum(cell.regret.edpGap);
+    out += ", \"energy_gap\": " + jsonNum(cell.regret.energyGap);
+    out += ", \"time_gap\": " + jsonNum(cell.regret.timeGap);
+    out += ", \"flips\": " +
+           jsonU64(static_cast<std::uint64_t>(cell.regret.flips));
+    out += ", \"flips_tracked\": " +
+           jsonU64(static_cast<std::uint64_t>(
+               cell.regret.flipsTracked));
+    out += ", \"mean_reaction_intervals\": " +
+           jsonNum(cell.regret.meanReactionIntervals);
+    out += ", \"worst_reaction_intervals\": " +
+           jsonNum(cell.regret.worstReactionIntervals);
+    out += ", \"oracle_margin\": " + jsonNum(cell.oracle.margin);
+    out += ", \"online_time_ps\": " +
+           jsonU64(static_cast<std::uint64_t>(cell.online.time));
+    out += ", \"oracle_time_ps\": " +
+           jsonU64(static_cast<std::uint64_t>(cell.oracle.stats.time));
+    out += ", \"online_energy_nj\": " + jsonNum(cell.online.chipEnergy);
+    out += ", \"oracle_energy_nj\": " +
+           jsonNum(cell.oracle.stats.chipEnergy);
+    out += "}";
+    return out;
+}
+
+std::string
+tournamentStandingJson(const TournamentStanding &s, int rank)
+{
+    std::string out = "      {";
+    out += "\"rank\": " + std::to_string(rank);
+    out += ", \"controller\": " + jsonStr(s.controller);
+    out += ", \"cells\": " +
+           jsonU64(static_cast<std::uint64_t>(s.cells));
+    out += ", \"mean_freq_error\": " + jsonNum(s.meanFreqError);
+    out += ", \"worst_freq_error\": " + jsonNum(s.worstFreqError);
+    out += ", \"mean_edp_gap\": " + jsonNum(s.meanEdpGap);
+    out += ", \"worst_edp_gap\": " + jsonNum(s.worstEdpGap);
+    out += ", \"mean_reaction_intervals\": " +
+           jsonNum(s.meanReactionIntervals);
+    out += ", \"flips\": " +
+           jsonU64(static_cast<std::uint64_t>(s.flips));
+    out += ", \"flips_tracked\": " +
+           jsonU64(static_cast<std::uint64_t>(s.flipsTracked));
+    out += "}";
+    return out;
+}
+
+int
+tournamentCli(const std::vector<std::string> &scenario_args,
+              const std::vector<std::string> &controller_args,
+              double target_deg, int procs, int retries,
+              const std::string &store, bool warm_only, bool json)
+{
+    TournamentOptions options;
+    options.config = standardConfig();
+    if (!store.empty())
+        options.config.store = store; // --store overrides MCD_STORE
+    options.targetDeg = target_deg;
+    options.procs = procs;
+    options.retries = retries;
+
+    // Scenarios: explicit names (scenario-aware comma splitting), with
+    // the "corpus" alias expanding to the standing adversarial corpus.
+    std::vector<std::string> scenario_lists = scenario_args;
+    if (scenario_lists.empty())
+        scenario_lists.push_back("corpus");
+    for (const auto &arg : scenario_lists) {
+        for (const auto &name : splitScenarioList(arg)) {
+            if (name == "corpus") {
+                for (const auto &c : adversarialCorpus())
+                    options.scenarios.push_back(c);
+            } else {
+                options.scenarios.push_back(name);
+            }
+        }
+    }
+
+    // Controllers: each --controllers value holds ';'-separated
+    // controller specs (commas belong to the specs' own parameters).
+    for (const auto &arg : controller_args) {
+        std::size_t pos = 0;
+        while (pos <= arg.size()) {
+            auto semi = arg.find(';', pos);
+            std::string item = arg.substr(
+                pos, semi == std::string::npos ? std::string::npos
+                                               : semi - pos);
+            pos = semi == std::string::npos ? arg.size() + 1
+                                            : semi + 1;
+            if (item.empty())
+                continue;
+            TournamentEntry entry;
+            entry.label = item;
+            entry.spec = parseControllerSpec(item);
+            options.controllers.push_back(std::move(entry));
+        }
+    }
+    if (options.controllers.empty())
+        options.controllers = defaultTournamentEntries();
+
+    // The warming fleet re-invokes this binary, one scenario per
+    // worker, forwarding the controller arguments verbatim (defaults
+    // are deterministic, so forwarding nothing reproduces them).
+    if (procs > 1) {
+        options.makeWorker =
+            [&](const std::string &scenario) {
+                FleetTarget target;
+                target.name = scenario;
+                target.argv = {selfDirectory() + "/mcd_cli",
+                               "tournament", "--warm-only",
+                               "--scenarios", scenario};
+                for (const auto &arg : controller_args) {
+                    target.argv.push_back("--controllers");
+                    target.argv.push_back(arg);
+                }
+                target.argv.push_back("--target-deg");
+                char deg[40];
+                std::snprintf(deg, sizeof(deg), "%.17g", target_deg);
+                target.argv.push_back(deg);
+                return target;
+            };
+    }
+
+    TournamentResult result = runTournament(options);
+    if (warm_only) {
+        // Warming worker: the artifacts are in the shared store; the
+        // parent renders. Only the store line goes out (stderr).
+        reportStoreStats();
+        return 0;
+    }
+
+    if (json) {
+        std::string out = "{\n  \"tournament\": {\n";
+        out += "    \"target_deg\": " + jsonNum(options.targetDeg) +
+               ",\n";
+        out += "    \"scenarios\": [";
+        bool first = true;
+        for (const auto &scenario : options.scenarios) {
+            out += first ? "" : ", ";
+            first = false;
+            out += jsonStr(scenario);
+        }
+        out += "],\n    \"controllers\": [";
+        first = true;
+        for (const auto &entry : options.controllers) {
+            out += first ? "" : ", ";
+            first = false;
+            out += jsonStr(entry.label);
+        }
+        out += "],\n    \"cells\": [\n";
+        for (std::size_t i = 0; i < result.cells.size(); ++i) {
+            out += tournamentCellJson(result.cells[i]);
+            out += i + 1 < result.cells.size() ? ",\n" : "\n";
+        }
+        out += "    ],\n    \"standings\": [\n";
+        for (std::size_t i = 0; i < result.standings.size(); ++i) {
+            out += tournamentStandingJson(result.standings[i],
+                                          static_cast<int>(i) + 1);
+            out += i + 1 < result.standings.size() ? ",\n" : "\n";
+        }
+        // No cache counters here, unlike `run --json`: tournament
+        // stdout stays byte-identical between cold, warm, and fleet
+        // runs (CI diffs it); the counters go to stderr below.
+        out += "    ]\n  }\n}\n";
+        std::fputs(out.c_str(), stdout);
+        reportStoreStats();
+        return 0;
+    }
+
+    printMethodology(options.config);
+    std::printf("oracle: offline Dynamic-%g%% (degradation cap %s)\n\n",
+                options.targetDeg * 100.0,
+                pct(options.targetDeg, 1).c_str());
+    std::printf("%s", renderTournament(result).c_str());
+    reportStoreStats();
+    return 0;
+}
+
 int
 cacheStatsCli(const std::string &store, bool json)
 {
@@ -571,6 +790,21 @@ usage()
         "                                   across worker processes "
         "sharing\n"
         "                                   one store\n"
+        "  mcd_cli tournament [--scenarios <name>[,...]|corpus]...\n"
+        "              [--controllers <spec>[;<spec>...]]...\n"
+        "              [--target-deg <frac>] [--procs <n>]\n"
+        "              [--retries <n>] [--store <dir>] [--json]\n"
+        "                                   oracle-regret tournament: "
+        "score\n"
+        "                                   controllers x scenarios "
+        "against\n"
+        "                                   the offline Dynamic-X% "
+        "oracle\n"
+        "                                   (default: the adversarial "
+        "corpus\n"
+        "                                   x attack_decay / "
+        "attack_decay:slow\n"
+        "                                   / none)\n"
         "\n"
         "examples:\n"
         "  mcd_cli list\n"
@@ -582,6 +816,11 @@ usage()
         "  mcd_cli fleet fig5,table6 --procs 4 --store /tmp/mcd-store\n"
         "  mcd_cli cache prune --store /tmp/mcd-store "
         "--max-bytes 100000000\n"
+        "  mcd_cli tournament --store /tmp/mcd-store --json\n"
+        "  mcd_cli tournament --scenarios "
+        "synthetic:square=4000,mem=0.5,gsm \\\n"
+        "      --controllers \"attack_decay;"
+        "attack_decay:reaction_change=0.12\"\n"
         "\n"
         "fleet targets: fig2..fig7, table3, table6, endstop, frontend,\n"
         "               global, interval, listing, mcd_overhead, any\n"
@@ -609,8 +848,13 @@ main(int argc, char **argv)
     bool do_cache = false;
     bool do_prune = false;
     bool do_fleet = false;
+    bool do_tournament = false;
+    bool warm_only = false;
     std::vector<std::string> benches;
     std::vector<std::string> fleet_targets;
+    std::vector<std::string> tournament_scenarios;
+    std::vector<std::string> tournament_controllers;
+    double target_deg = 0.05;
     ControllerSpec controller; // "none"
     ClockMode mode = ClockMode::Mcd;
     Hertz freq = 0.0;
@@ -644,6 +888,22 @@ main(int argc, char **argv)
             do_prune = true;
         } else if (arg == "fleet") {
             do_fleet = true;
+        } else if (arg == "tournament") {
+            do_tournament = true;
+        } else if (arg == "--scenarios") {
+            tournament_scenarios.push_back(value(i));
+        } else if (arg == "--controllers") {
+            tournament_controllers.push_back(value(i));
+        } else if (arg == "--target-deg") {
+            char *end = nullptr;
+            std::string v = value(i);
+            target_deg = std::strtod(v.c_str(), &end);
+            if (v.empty() || end != v.c_str() + v.size() ||
+                target_deg < 0.0 || target_deg > 1.0)
+                mcd_fatal("--target-deg needs a fraction in [0, 1], "
+                          "not '%s'", v.c_str());
+        } else if (arg == "--warm-only") {
+            warm_only = true;
         } else if (arg == "--procs") {
             procs = static_cast<int>(
                 parseU64Flag("--procs", value(i)));
@@ -709,6 +969,15 @@ main(int argc, char **argv)
             mcd_fatal("run needs --bench <name>[,<name>...]");
         return runExperimentsCli(benches, controller, mode, freq, seed,
                                  have_seed, store, json);
+    }
+    if (do_tournament) {
+        // Workers share the parent's store; resolve the root here so
+        // the fleet env and the parent's cache agree on it.
+        std::string root =
+            store.empty() ? standardConfig().store : store;
+        return tournamentCli(tournament_scenarios,
+                             tournament_controllers, target_deg, procs,
+                             retries, root, warm_only, json);
     }
     if (do_fleet) {
         if (fleet_targets.empty())

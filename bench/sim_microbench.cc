@@ -1,15 +1,33 @@
 /**
  * @file
- * google-benchmark microbenchmarks of the simulator's building blocks:
- * raw simulation throughput per machine mode, clock-edge generation,
- * cache access, branch prediction, and workload generation. These guard
- * against performance regressions in the hot paths that every
- * experiment binary depends on.
+ * Microbenchmarks of the simulator's building blocks: raw simulation
+ * throughput per machine mode, clock-edge generation, cache access,
+ * branch prediction, and workload generation. These guard against
+ * performance regressions in the hot paths every experiment binary
+ * depends on.
+ *
+ * Self-contained (std::chrono) so it builds everywhere the library
+ * does — no google-benchmark dependency. Each benchmark is run in
+ * growing batches until the measured time passes `--min-time-ms`
+ * (default 200 ms per benchmark), then reported as ns/op and items/s.
+ *
+ *   sim_microbench [--json] [--min-time-ms <ms>] [--filter <substr>]
+ *
+ * `--json` emits one machine-readable object per run — CI uploads it
+ * as `BENCH_sim.json`, the repo's performance trajectory.
  */
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "clock/domain_clock.hh"
+#include "common/logging.hh"
 #include "control/attack_decay.hh"
 #include "core/simulator.hh"
 #include "memory/cache.hh"
@@ -21,95 +39,257 @@ namespace
 
 using namespace mcd;
 
-void
-BM_SimulatorMcd(benchmark::State &state)
+/** Result of one benchmark: total time over `items` processed. */
+struct BenchResult
 {
-    auto workload = BenchmarkFactory::create("gsm", 1u << 22);
-    SimConfig config;
-    Simulator sim(config, *workload);
-    for (auto _ : state)
-        sim.run(1000);
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(sim.committed()));
-}
-BENCHMARK(BM_SimulatorMcd)->Unit(benchmark::kMillisecond);
+    std::string name;
+    std::uint64_t iterations = 0; //!< timed batch iterations
+    std::uint64_t items = 0;      //!< items processed across batches
+    double seconds = 0.0;         //!< measured wall-clock
+};
 
-void
-BM_SimulatorMcdAttackDecay(benchmark::State &state)
+double
+nsPerItem(const BenchResult &r)
 {
-    auto workload = BenchmarkFactory::create("gsm", 1u << 22);
-    SimConfig config;
-    config.core.intervalInstructions = 1000;
-    AttackDecayController controller;
-    Simulator sim(config, *workload, &controller);
-    for (auto _ : state)
-        sim.run(1000);
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(sim.committed()));
+    return r.items > 0 ? r.seconds * 1e9 / static_cast<double>(r.items)
+                       : 0.0;
 }
-BENCHMARK(BM_SimulatorMcdAttackDecay)->Unit(benchmark::kMillisecond);
 
-void
-BM_SimulatorSynchronous(benchmark::State &state)
+double
+itemsPerSecond(const BenchResult &r)
 {
-    auto workload = BenchmarkFactory::create("gsm", 1u << 22);
-    SimConfig config;
-    config.clocks.mode = ClockMode::Synchronous;
-    Simulator sim(config, *workload);
-    for (auto _ : state)
-        sim.run(1000);
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(sim.committed()));
+    return r.seconds > 0.0
+        ? static_cast<double>(r.items) / r.seconds : 0.0;
 }
-BENCHMARK(BM_SimulatorSynchronous)->Unit(benchmark::kMillisecond);
 
-void
-BM_ClockEdges(benchmark::State &state)
+/**
+ * One registered benchmark: `items` is how many items one call of
+ * `batch` processes. State setup happens in the factory closure, so
+ * repeated batches reuse warm structures (google-benchmark's loop
+ * semantics).
+ */
+struct Bench
 {
-    DvfsModel dvfs;
-    DomainClock clock(DomainId::Integer, dvfs, 1.0e9, 42);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(clock.advance());
-}
-BENCHMARK(BM_ClockEdges);
+    std::string name;
+    std::uint64_t itemsPerBatch = 0;
+    std::function<void()> batch;
+};
 
-void
-BM_CacheAccess(benchmark::State &state)
+BenchResult
+run(const Bench &bench, double min_seconds)
 {
-    Cache cache(CacheConfig{"l1", 64 * 1024, 2, 64});
-    std::uint64_t addr = 0;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(cache.access(addr, false));
-        addr += 4096 + 64; // mixes hits and misses across sets
+    using clock = std::chrono::steady_clock;
+
+    // Warm-up batch (untimed): first-touch allocation, cold caches.
+    bench.batch();
+
+    BenchResult result;
+    result.name = bench.name;
+    auto start = clock::now();
+    for (;;) {
+        bench.batch();
+        ++result.iterations;
+        result.items += bench.itemsPerBatch;
+        result.seconds =
+            std::chrono::duration<double>(clock::now() - start)
+                .count();
+        if (result.seconds >= min_seconds)
+            break;
     }
+    return result;
 }
-BENCHMARK(BM_CacheAccess);
 
-void
-BM_BranchPredict(benchmark::State &state)
+std::vector<Bench>
+allBenches()
 {
-    BranchPredictor bpred;
-    std::uint64_t pc = 0x1000;
-    bool taken = false;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            bpred.predict(pc, false, false, pc + 4));
-        bpred.update(pc, taken, pc + 64, false, false);
-        pc = (pc + 16) & 0xffff;
-        taken = !taken;
+    std::vector<Bench> benches;
+
+    auto simBench = [](const std::string &name, ClockMode mode,
+                       bool attack_decay) {
+        // Shared state across batches: one long-lived simulator that
+        // keeps committing instructions from a wrapping workload.
+        struct State
+        {
+            std::unique_ptr<WorkloadGenerator> workload;
+            std::unique_ptr<AttackDecayController> controller;
+            std::unique_ptr<Simulator> sim;
+        };
+        auto state = std::make_shared<State>();
+        state->workload = BenchmarkFactory::create("gsm", 1u << 22);
+        SimConfig config;
+        config.clocks.mode = mode;
+        if (attack_decay) {
+            config.core.intervalInstructions = 1000;
+            state->controller =
+                std::make_unique<AttackDecayController>();
+        }
+        state->sim = std::make_unique<Simulator>(
+            config, *state->workload, state->controller.get());
+        return Bench{name, 1000,
+                     [state] { state->sim->run(1000); }};
+    };
+    benches.push_back(
+        simBench("SimulatorMcd", ClockMode::Mcd, false));
+    benches.push_back(
+        simBench("SimulatorMcdAttackDecay", ClockMode::Mcd, true));
+    benches.push_back(simBench("SimulatorSynchronous",
+                               ClockMode::Synchronous, false));
+
+    {
+        struct State
+        {
+            DvfsModel dvfs;
+            DomainClock clock{DomainId::Integer, dvfs, 1.0e9, 42};
+            Tick sink = 0;
+        };
+        auto state = std::make_shared<State>();
+        benches.push_back(Bench{"ClockEdges", 1000, [state] {
+            for (int i = 0; i < 1000; ++i)
+                state->sink += state->clock.advance();
+        }});
     }
+
+    {
+        struct State
+        {
+            Cache cache{CacheConfig{"l1", 64 * 1024, 2, 64}};
+            std::uint64_t addr = 0;
+            std::uint64_t sink = 0;
+        };
+        auto state = std::make_shared<State>();
+        benches.push_back(Bench{"CacheAccess", 1000, [state] {
+            for (int i = 0; i < 1000; ++i) {
+                state->sink +=
+                    state->cache.access(state->addr, false).hit ? 1
+                                                                : 0;
+                state->addr += 4096 + 64; // mixes hits and misses
+            }
+        }});
+    }
+
+    {
+        struct State
+        {
+            BranchPredictor bpred;
+            std::uint64_t pc = 0x1000;
+            bool taken = false;
+            std::uint64_t sink = 0;
+        };
+        auto state = std::make_shared<State>();
+        benches.push_back(Bench{"BranchPredict", 1000, [state] {
+            for (int i = 0; i < 1000; ++i) {
+                state->sink += state->bpred
+                                   .predict(state->pc, false, false,
+                                            state->pc + 4)
+                                   .predictTaken
+                    ? 1 : 0;
+                state->bpred.update(state->pc, state->taken,
+                                    state->pc + 64, false, false);
+                state->pc = (state->pc + 16) & 0xffff;
+                state->taken = !state->taken;
+            }
+        }});
+    }
+
+    {
+        struct State
+        {
+            std::unique_ptr<WorkloadGenerator> workload =
+                BenchmarkFactory::create("gcc", 1u << 22);
+            std::uint64_t sink = 0;
+        };
+        auto state = std::make_shared<State>();
+        benches.push_back(Bench{"WorkloadGeneration", 1000, [state] {
+            for (int i = 0; i < 1000; ++i)
+                state->sink += state->workload->next().pc;
+        }});
+    }
+
+    return benches;
 }
-BENCHMARK(BM_BranchPredict);
 
 void
-BM_WorkloadGeneration(benchmark::State &state)
+printText(const std::vector<BenchResult> &results)
 {
-    auto workload = BenchmarkFactory::create("gcc", 1u << 22);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(workload->next());
+    std::printf("%-28s %14s %16s %12s\n", "benchmark", "ns/op",
+                "items/s", "iterations");
+    for (const BenchResult &r : results)
+        std::printf("%-28s %14.1f %16.0f %12llu\n", r.name.c_str(),
+                    nsPerItem(r), itemsPerSecond(r),
+                    static_cast<unsigned long long>(r.iterations));
 }
-BENCHMARK(BM_WorkloadGeneration);
+
+void
+printJson(const std::vector<BenchResult> &results)
+{
+    std::string out = "{\n  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const BenchResult &r = results[i];
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "    {\"name\": \"%s\", \"ns_per_op\": %.3f, "
+                      "\"items_per_second\": %.1f, \"iterations\": "
+                      "%llu, \"items\": %llu, \"seconds\": %.6f}",
+                      r.name.c_str(), nsPerItem(r), itemsPerSecond(r),
+                      static_cast<unsigned long long>(r.iterations),
+                      static_cast<unsigned long long>(r.items),
+                      r.seconds);
+        out += buf;
+        out += i + 1 < results.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n}\n";
+    std::fputs(out.c_str(), stdout);
+}
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    bool json = false;
+    double min_seconds = 0.2;
+    std::string filter;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                mcd_fatal("option '%s' needs a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--json") {
+            json = true;
+        } else if (arg == "--min-time-ms") {
+            std::string v = value();
+            char *end = nullptr;
+            min_seconds = std::strtod(v.c_str(), &end) / 1e3;
+            if (v.empty() || end != v.c_str() + v.size() ||
+                min_seconds <= 0.0)
+                mcd_fatal("--min-time-ms needs a positive duration, "
+                          "not '%s'", v.c_str());
+        } else if (arg == "--filter") {
+            filter = value();
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: sim_microbench [--json] "
+                        "[--min-time-ms <ms>] [--filter <substr>]\n");
+            return 0;
+        } else {
+            mcd_fatal("unknown argument '%s' (try --help)",
+                      arg.c_str());
+        }
+    }
+
+    std::vector<BenchResult> results;
+    for (const Bench &bench : allBenches()) {
+        if (!filter.empty() &&
+            bench.name.find(filter) == std::string::npos)
+            continue;
+        results.push_back(run(bench, min_seconds));
+    }
+
+    if (json)
+        printJson(results);
+    else
+        printText(results);
+    return 0;
+}

@@ -157,4 +157,13 @@ FrontEndAttackDecayController::onInterval(const IntervalStats &stats,
     clocks.clock(DomainId::FrontEnd).setTargetFrequency(freq);
 }
 
+AttackDecayConfig
+scaledAttackDecayConfig()
+{
+    AttackDecayConfig config;
+    config.decay = 0.0125;
+    config.perfDegThreshold = 0.015;
+    return config;
+}
+
 } // namespace mcd

@@ -59,6 +59,10 @@ struct IntervalStats
     double ipc = 0.0;                //!< instructions / feCycles
     Tick startTime = 0;
     Tick endTime = 0;
+    /** On-chip energy (nJ) spent during this interval. The paper's
+     *  controller hardware would not see this; it exists for the
+     *  telemetry traces of the controller stress lab (src/eval/). */
+    NanoJoule chipEnergy = 0.0;
     std::array<DomainIntervalStats, NUM_CONTROLLED> domains{};
 
     /** ROB occupancy accumulated per front-end cycle / instructions

@@ -238,6 +238,7 @@ Simulator::handleIntervalBoundary(Tick edge)
         : 0.0;
     stats.startTime = interval_start_time_;
     stats.endTime = edge;
+    stats.chipEnergy = power_.chipEnergy() - interval_start_energy_;
 
     for (int slot = 0; slot < NUM_CONTROLLED; ++slot) {
         const DomainAccum &a = interval_accum_[static_cast<std::size_t>(
@@ -276,6 +277,7 @@ Simulator::handleIntervalBoundary(Tick edge)
     interval_start_insts_ = committed_;
     interval_start_fe_cycles_ = fe_cycles_;
     interval_start_time_ = edge;
+    interval_start_energy_ = power_.chipEnergy();
 }
 
 bool
@@ -844,6 +846,7 @@ Simulator::resetMeasurement()
     interval_start_insts_ = committed_;
     interval_start_fe_cycles_ = fe_cycles_;
     interval_start_time_ = now_;
+    interval_start_energy_ = 0.0; // power_ was just reset
 }
 
 void

@@ -190,6 +190,7 @@ class Simulator
     std::uint64_t interval_start_insts_ = 0;
     std::uint64_t interval_start_fe_cycles_ = 0;
     Tick interval_start_time_ = 0;
+    NanoJoule interval_start_energy_ = 0.0;
     struct DomainAccum
     {
         double occupancySum = 0.0;

@@ -1,0 +1,92 @@
+#include "eval/regret.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcd
+{
+
+RegretReport
+computeRegret(const EvalTrace &trace, const SimStats &oracleStats,
+              Hertz fMax, const RegretOptions &options)
+{
+    RegretReport report;
+    const auto &points = trace.points;
+    std::size_t first = std::min(options.skipIntervals, points.size());
+
+    // Frequency-tracking regret.
+    std::array<double, NUM_CONTROLLED> domain_sum{};
+    for (std::size_t i = first; i < points.size(); ++i) {
+        for (int slot = 0; slot < NUM_CONTROLLED; ++slot) {
+            auto s = static_cast<std::size_t>(slot);
+            const TraceDomainPoint &d = points[i].domains[s];
+            double err =
+                std::abs(d.frequency - d.oracleFrequency) / fMax;
+            domain_sum[s] += err;
+            report.worstFreqError =
+                std::max(report.worstFreqError, err);
+        }
+        ++report.intervals;
+    }
+    if (report.intervals > 0) {
+        double total = 0.0;
+        for (int slot = 0; slot < NUM_CONTROLLED; ++slot) {
+            auto s = static_cast<std::size_t>(slot);
+            report.domainFreqError[s] =
+                domain_sum[s] / static_cast<double>(report.intervals);
+            total += domain_sum[s];
+        }
+        report.meanFreqError = total /
+            static_cast<double>(report.intervals * NUM_CONTROLLED);
+    }
+
+    // Outcome gaps.
+    double e_on = trace.stats.chipEnergy;
+    double t_on = static_cast<double>(trace.stats.time);
+    double e_or = oracleStats.chipEnergy;
+    double t_or = static_cast<double>(oracleStats.time);
+    if (e_or > 0.0)
+        report.energyGap = e_on / e_or - 1.0;
+    if (t_or > 0.0)
+        report.timeGap = t_on / t_or - 1.0;
+    if (e_or > 0.0 && t_or > 0.0)
+        report.edpGap = (e_on * t_on) / (e_or * t_or) - 1.0;
+
+    // Reaction latency: a flip is a per-domain oracle step above the
+    // threshold; its latency is the distance to the first interval
+    // where the online frequency reaches the post-flip level's
+    // tolerance band. Scanning is per domain, in interval order, so
+    // the report is deterministic.
+    double reaction_sum = 0.0;
+    for (int slot = 0; slot < NUM_CONTROLLED; ++slot) {
+        auto s = static_cast<std::size_t>(slot);
+        for (std::size_t i = first + 1; i < points.size(); ++i) {
+            double step = std::abs(
+                points[i].domains[s].oracleFrequency -
+                points[i - 1].domains[s].oracleFrequency);
+            if (step <= options.flipThreshold * fMax)
+                continue;
+            ++report.flips;
+            double target = points[i].domains[s].oracleFrequency;
+            std::size_t limit = std::min(
+                points.size(), i + options.maxReactionIntervals);
+            for (std::size_t j = i; j < limit; ++j) {
+                if (std::abs(points[j].domains[s].frequency - target) <=
+                    options.trackTolerance * fMax) {
+                    double latency = static_cast<double>(j - i);
+                    ++report.flipsTracked;
+                    reaction_sum += latency;
+                    report.worstReactionIntervals = std::max(
+                        report.worstReactionIntervals, latency);
+                    break;
+                }
+            }
+        }
+    }
+    if (report.flipsTracked > 0)
+        report.meanReactionIntervals =
+            reaction_sum / static_cast<double>(report.flipsTracked);
+    return report;
+}
+
+} // namespace mcd

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Oracle-regret metrics of the controller stress lab: how far an
+ * online controller's per-interval decisions land from the offline
+ * Dynamic-X% oracle's, computed from an `EvalTrace` whose points
+ * carry both the online and the oracle frequency per domain.
+ *
+ * Three families of metrics (all fractions unless noted):
+ *  - frequency-tracking regret: |f_online - f_oracle| / f_max,
+ *    averaged (and maximized) over sampled intervals, overall and per
+ *    domain. Zero means the controller reproduced the oracle's
+ *    schedule exactly.
+ *  - outcome gaps: relative energy, run-time, and energy-delay-
+ *    product excess of the online run over the oracle's replayed run
+ *    (EDP gap > 0 means the online controller paid more than the
+ *    oracle; the paper's headline result is that Attack/Decay keeps
+ *    this within a fraction of a percent on the 30 applications).
+ *  - reaction latency: after each oracle regime flip (a per-domain
+ *    oracle-frequency step larger than `flipThreshold`), the number
+ *    of intervals until the online frequency first comes within
+ *    `trackTolerance` of the oracle's post-flip level. Flips the
+ *    controller never tracks within `maxReactionIntervals` count as
+ *    detected but untracked.
+ */
+
+#ifndef MCD_EVAL_REGRET_HH
+#define MCD_EVAL_REGRET_HH
+
+#include <array>
+#include <cstddef>
+
+#include "eval/trace.hh"
+
+namespace mcd
+{
+
+/** Thresholds and windows of the regret computation. */
+struct RegretOptions
+{
+    /** Leading intervals to ignore (the warm-up prefix). */
+    std::size_t skipIntervals = 0;
+
+    /** Oracle step, as a fraction of f_max, that counts as a flip. */
+    double flipThreshold = 0.10;
+
+    /** "Arrived" band around the post-flip level (fraction of f_max). */
+    double trackTolerance = 0.10;
+
+    /** Give-up window for reaction tracking, in intervals. */
+    std::size_t maxReactionIntervals = 64;
+};
+
+/** Regret of one online run against its embedded oracle. */
+struct RegretReport
+{
+    std::size_t intervals = 0; //!< sampled intervals (post-skip)
+
+    // Frequency-tracking regret, fractions of f_max.
+    double meanFreqError = 0.0;  //!< mean over intervals x domains
+    double worstFreqError = 0.0; //!< max over intervals x domains
+    std::array<double, NUM_CONTROLLED> domainFreqError{}; //!< per-
+                                 //!< domain means
+
+    // Outcome gaps vs the oracle's replayed run, relative.
+    double energyGap = 0.0; //!< E_online / E_oracle - 1
+    double timeGap = 0.0;   //!< T_online / T_oracle - 1
+    double edpGap = 0.0;    //!< (E*T)_online / (E*T)_oracle - 1
+
+    // Reaction latency after oracle regime flips.
+    std::size_t flips = 0;        //!< detected (domain, interval) flips
+    std::size_t flipsTracked = 0; //!< flips tracked within the window
+    double meanReactionIntervals = 0.0;  //!< over tracked flips
+    double worstReactionIntervals = 0.0; //!< over tracked flips
+};
+
+/**
+ * Compute all regret metrics of `trace` against the oracle choices it
+ * embeds, with `oracleStats` the aggregate results of the oracle's
+ * replayed run (an OfflineResult's stats) and `fMax` the DVFS
+ * ceiling normalizing frequency errors.
+ */
+RegretReport computeRegret(const EvalTrace &trace,
+                           const SimStats &oracleStats, Hertz fMax,
+                           const RegretOptions &options = {});
+
+} // namespace mcd
+
+#endif // MCD_EVAL_REGRET_HH

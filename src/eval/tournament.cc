@@ -1,0 +1,255 @@
+#include "eval/tournament.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "control/basic_controllers.hh"
+#include "harness/parallel_sweep.hh"
+#include "harness/table.hh"
+#include "workload/scenario_registry.hh"
+
+namespace mcd
+{
+
+namespace
+{
+
+/** One scenario's column: profile, oracle, one trace per entry. */
+std::vector<TournamentCell>
+scoreScenario(const std::string &scenario,
+              const TournamentOptions &options)
+{
+    RunnerConfig config = options.config;
+    config.jobs = 1; // parallelism lives at the scenario level
+    Runner runner(config);
+
+    std::vector<IntervalProfile> profile;
+    SimStats base = runner.runMcdBaseline(scenario, &profile);
+    OfflineResult oracle = runner.runOfflineDynamic(
+        scenario, options.targetDeg, base, profile);
+
+    // The oracle's per-interval choices, re-derived from its tuned
+    // margin. (The search's per-domain refinement can land on a
+    // slightly more aggressive schedule than the shared margin alone;
+    // the shared-margin schedule is the conservative upper envelope
+    // and keeps the reference reproducible from the memoized result.)
+    DvfsModel dvfs(config.dvfs);
+    std::array<double, NUM_CONTROLLED> margins;
+    margins.fill(oracle.margin);
+    std::vector<FrequencyVector> schedule =
+        deriveSchedule(profile, dvfs, margins);
+
+    RegretOptions regret = options.regret;
+    regret.skipIntervals = config.intervalInstructions > 0
+        ? static_cast<std::size_t>(
+              config.warmup / static_cast<std::uint64_t>(
+                                  config.intervalInstructions))
+        : 0;
+
+    std::vector<TournamentCell> cells;
+    for (const TournamentEntry &entry : options.controllers) {
+        TraceSpec spec;
+        spec.benchmark = scenario;
+        spec.controller = entry.spec;
+        spec.oracle = schedule;
+        spec.config = config;
+        EvalTrace trace = ArtifactCache::instance().getOrRun(spec);
+
+        TournamentCell cell;
+        cell.scenario = scenario;
+        cell.controller = entry.label;
+        cell.online = trace.stats;
+        cell.oracle = oracle;
+        cell.regret = computeRegret(trace, oracle.stats,
+                                    config.dvfs.freqMax, regret);
+        cells.push_back(std::move(cell));
+    }
+    return cells;
+}
+
+std::vector<TournamentStanding>
+rankStandings(const TournamentOptions &options,
+              const std::vector<TournamentCell> &cells)
+{
+    std::vector<TournamentStanding> standings;
+    for (const TournamentEntry &entry : options.controllers) {
+        TournamentStanding standing;
+        standing.controller = entry.label;
+        double reaction_sum = 0.0;
+        bool first_cell = true;
+        for (const TournamentCell &cell : cells) {
+            if (cell.controller != entry.label)
+                continue;
+            ++standing.cells;
+            standing.meanFreqError += cell.regret.meanFreqError;
+            standing.worstFreqError = std::max(
+                standing.worstFreqError, cell.regret.worstFreqError);
+            standing.meanEdpGap += cell.regret.edpGap;
+            // EDP gaps can be negative (an online run can beat the
+            // shared-margin oracle replay); seed the maximum from the
+            // first cell so an all-negative controller reports its
+            // actual worst gap, not the 0.0 initializer.
+            standing.worstEdpGap = first_cell
+                ? cell.regret.edpGap
+                : std::max(standing.worstEdpGap, cell.regret.edpGap);
+            first_cell = false;
+            standing.flips += cell.regret.flips;
+            standing.flipsTracked += cell.regret.flipsTracked;
+            reaction_sum += cell.regret.meanReactionIntervals *
+                static_cast<double>(cell.regret.flipsTracked);
+        }
+        if (standing.cells > 0) {
+            standing.meanFreqError /=
+                static_cast<double>(standing.cells);
+            standing.meanEdpGap /= static_cast<double>(standing.cells);
+        }
+        if (standing.flipsTracked > 0)
+            standing.meanReactionIntervals = reaction_sum /
+                static_cast<double>(standing.flipsTracked);
+        standings.push_back(std::move(standing));
+    }
+    // Best tracker first; ties broken on worst-case error, then label,
+    // so the league table is deterministic.
+    std::sort(standings.begin(), standings.end(),
+              [](const TournamentStanding &a,
+                 const TournamentStanding &b) {
+                  if (a.meanFreqError != b.meanFreqError)
+                      return a.meanFreqError < b.meanFreqError;
+                  if (a.worstFreqError != b.worstFreqError)
+                      return a.worstFreqError < b.worstFreqError;
+                  return a.controller < b.controller;
+              });
+    return standings;
+}
+
+} // namespace
+
+std::vector<std::string>
+adversarialCorpus()
+{
+    return {
+        "synthetic:square=4000,mem=0.5",
+        "synthetic:square=16000,mem=0.5",
+        "synthetic:markov=24,mem=0.5",
+        "synthetic:markov=48,mem=0.5,ilp=16",
+        "synthetic:drift=0.8,mem=0.5",
+        "synthetic:burst=0.5,phases=8,mem=0.6",
+        "synthetic:phases=12,mem=0.5",
+    };
+}
+
+std::vector<TournamentEntry>
+defaultTournamentEntries()
+{
+    std::vector<TournamentEntry> entries;
+    entries.push_back(
+        {"attack_decay", attackDecaySpec(scaledAttackDecayConfig())});
+    AttackDecayConfig sluggish = scaledAttackDecayConfig();
+    sluggish.reactionChange = 0.015; // 4x slower attack steps
+    entries.push_back(
+        {"attack_decay:slow", attackDecaySpec(sluggish)});
+    entries.push_back({"none", ControllerSpec{}});
+    return entries;
+}
+
+TournamentResult
+runTournament(const TournamentOptions &options)
+{
+    if (options.scenarios.empty())
+        mcd_fatal("tournament needs at least one scenario");
+    if (options.controllers.empty())
+        mcd_fatal("tournament needs at least one controller");
+    for (const auto &scenario : options.scenarios)
+        if (!ScenarioRegistry::instance().contains(scenario))
+            mcd_fatal("unknown scenario '%s' (try: mcd_cli list)",
+                      scenario.c_str());
+    for (const auto &entry : options.controllers)
+        if (!ControllerRegistry::instance().contains(entry.spec.name))
+            mcd_fatal("unknown controller '%s' (try: mcd_cli list)",
+                      entry.spec.name.c_str());
+
+    // Fleet warming: worker processes fill the shared store with
+    // disjoint scenario columns; the parent then reads everything
+    // back from it. A failed worker only costs its unwritten
+    // artifacts — the parent recomputes whatever is missing, so the
+    // result is identical either way.
+    if (options.procs > 1 && options.makeWorker) {
+        if (options.config.store.empty())
+            mcd_fatal("tournament --procs %d needs a shared --store",
+                      options.procs);
+        std::vector<FleetTarget> targets;
+        for (const auto &scenario : options.scenarios)
+            targets.push_back(options.makeWorker(scenario));
+        FleetOptions fleet;
+        fleet.procs = options.procs;
+        fleet.retries = options.retries;
+        fleet.store = options.config.store;
+        FleetReport report = runFleet(targets, fleet);
+        for (const FleetResult &target : report.targets)
+            if (!target.succeeded)
+                mcd_warn("tournament warm worker '%s' failed (exit "
+                         "%d); recomputing in-process",
+                         target.name.c_str(), target.exitCode);
+    }
+
+    // Scenario columns fan out across the sweep workers; each column
+    // is serial inside. Collation is in scenario order, controllers
+    // in entry order within a column, so the cell list is
+    // deterministic for any worker count.
+    ParallelSweep sweep(options.config.jobs);
+    auto columns = sweep.map<std::vector<TournamentCell>>(
+        options.scenarios.size(), [&](std::size_t i) {
+            return scoreScenario(options.scenarios[i], options);
+        });
+
+    TournamentResult result;
+    for (auto &column : columns)
+        for (auto &cell : column)
+            result.cells.push_back(std::move(cell));
+    result.standings = rankStandings(options, result.cells);
+    return result;
+}
+
+std::string
+renderTournament(const TournamentResult &result)
+{
+    TextTable cells("tournament cells (online vs offline oracle)");
+    cells.setHeader({"scenario", "controller", "freq regret",
+                     "worst regret", "reaction", "flips", "EDP gap",
+                     "energy gap", "time gap", "margin"});
+    for (const TournamentCell &cell : result.cells) {
+        cells.addRow(
+            {cell.scenario, cell.controller,
+             pct(cell.regret.meanFreqError, 2),
+             pct(cell.regret.worstFreqError, 1),
+             cell.regret.flipsTracked > 0
+                 ? num(cell.regret.meanReactionIntervals, 1)
+                 : "-",
+             std::to_string(cell.regret.flipsTracked) + "/" +
+                 std::to_string(cell.regret.flips),
+             pct(cell.regret.edpGap, 2), pct(cell.regret.energyGap, 2),
+             pct(cell.regret.timeGap, 2),
+             num(cell.oracle.margin, 3)});
+    }
+
+    TextTable league("league table (mean regret, best first)");
+    league.setHeader({"rank", "controller", "freq regret",
+                      "worst regret", "reaction", "EDP gap",
+                      "worst EDP gap", "flips"});
+    int rank = 1;
+    for (const TournamentStanding &s : result.standings) {
+        league.addRow(
+            {std::to_string(rank++), s.controller,
+             pct(s.meanFreqError, 2), pct(s.worstFreqError, 1),
+             s.flipsTracked > 0 ? num(s.meanReactionIntervals, 1)
+                                : "-",
+             pct(s.meanEdpGap, 2), pct(s.worstEdpGap, 2),
+             std::to_string(s.flipsTracked) + "/" +
+                 std::to_string(s.flips)});
+    }
+
+    return cells.render() + "\n" + league.render();
+}
+
+} // namespace mcd

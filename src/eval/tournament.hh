@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The oracle-regret tournament of the controller stress lab: run a
+ * cross-product of workload scenarios x online controllers, score
+ * every cell against the offline Dynamic-X% oracle (frequency-
+ * tracking regret, reaction latency, outcome gaps; src/eval/regret.hh)
+ * and rank the controllers in a deterministic league table.
+ *
+ * Every product resolves through the process-wide ArtifactCache —
+ * the profiling pass and baseline per scenario, the whole offline
+ * search, and one EvalTrace per cell — so a warm store replays an
+ * entire tournament with zero simulations and byte-identical output.
+ * With `procs > 1` and a shared store, a warming fleet of worker
+ * processes (harness/fleet.hh) computes disjoint scenario slices
+ * first; the parent then assembles the table entirely from the store,
+ * which is why the output is byte-identical for any process count.
+ *
+ * The standing adversarial corpus (`adversarialCorpus()`) is the
+ * controller-regression suite: regime-switching `synthetic:` inputs
+ * (markov/square/drift/burst/phases) built to defeat a pure
+ * attack/decay law harder than any of the paper's 30 applications.
+ */
+
+#ifndef MCD_EVAL_TOURNAMENT_HH
+#define MCD_EVAL_TOURNAMENT_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "eval/regret.hh"
+#include "harness/fleet.hh"
+
+namespace mcd
+{
+
+/** One competing controller: display label + declarative spec. */
+struct TournamentEntry
+{
+    std::string label; //!< as parsed from the CLI, or a builtin name
+    ControllerSpec spec;
+};
+
+/** How to run a tournament. */
+struct TournamentOptions
+{
+    std::vector<std::string> scenarios;      //!< any registered names
+    std::vector<TournamentEntry> controllers;
+
+    /** Degradation cap the offline oracle is tuned to. */
+    double targetDeg = 0.05;
+
+    /** Methodology + machine; `store` enables cross-process reuse. */
+    RunnerConfig config;
+
+    /** Warming worker processes (1 = in-process only). > 1 requires
+     *  `config.store` and `makeWorker`. */
+    int procs = 1;
+
+    /** Respawns per warming worker after a crash. */
+    int retries = 1;
+
+    /**
+     * Builds the warming fleet target for one scenario: a process
+     * that computes that scenario's column of the tournament against
+     * the shared store (e.g. `mcd_cli tournament --scenarios <s>
+     * --warm-only`). Unset disables the fleet path.
+     */
+    std::function<FleetTarget(const std::string &scenario)> makeWorker;
+
+    /** Flip/tolerance thresholds; `skipIntervals` is derived from the
+     *  warm-up window, not taken from here. */
+    RegretOptions regret;
+};
+
+/** One (scenario, controller) cell, fully scored. */
+struct TournamentCell
+{
+    std::string scenario;
+    std::string controller; //!< entry label
+    RegretReport regret;
+    SimStats online;        //!< the online controller's run
+    OfflineResult oracle;   //!< the memoized offline search result
+};
+
+/** One controller's aggregate line in the league table. */
+struct TournamentStanding
+{
+    std::string controller;
+    std::size_t cells = 0;
+    double meanFreqError = 0.0;  //!< mean over scenarios
+    double worstFreqError = 0.0; //!< max over scenarios
+    double meanEdpGap = 0.0;     //!< mean over scenarios
+    double worstEdpGap = 0.0;    //!< max over scenarios
+    /** Flip-weighted mean reaction latency over all cells. */
+    double meanReactionIntervals = 0.0;
+    std::size_t flips = 0;
+    std::size_t flipsTracked = 0;
+};
+
+/** A whole tournament: cells scenario-major, standings ranked. */
+struct TournamentResult
+{
+    std::vector<TournamentCell> cells;
+    std::vector<TournamentStanding> standings; //!< best regret first
+};
+
+/** The standing adversarial scenario corpus (the `corpus` alias):
+ *  regime-switching synthetic: inputs for controller regression. */
+std::vector<std::string> adversarialCorpus();
+
+/** The default competitors: the paper's scaled Attack/Decay, a
+ *  sluggish Attack/Decay variant, and the uncontrolled baseline. */
+std::vector<TournamentEntry> defaultTournamentEntries();
+
+/** Run the full cross-product; deterministic for any worker/process
+ *  count. Fatal on unknown scenario or controller names. */
+TournamentResult runTournament(const TournamentOptions &options);
+
+/** Render the per-cell table + league table as text (mcd_cli's
+ *  non-JSON output; byte-stable across runs and process counts). */
+std::string renderTournament(const TournamentResult &result);
+
+} // namespace mcd
+
+#endif // MCD_EVAL_TOURNAMENT_HH

@@ -75,7 +75,9 @@ ArtifactTraits<std::vector<IntervalProfile>>::decodePayload(
     if (!in.ok())
         return false;
     profile.clear();
-    profile.reserve(count);
+    // No reserve(count): a corrupt blob's count can be arbitrary, and
+    // a giant reserve throws where the loop would fail cleanly into
+    // the store's miss-and-heal path.
     for (std::uint64_t k = 0; k < count && in.ok(); ++k) {
         IntervalProfile p;
         p.instructions = in.readU64();

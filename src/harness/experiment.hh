@@ -45,7 +45,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/logging.hh"
 #include "control/controller_registry.hh"
+#include "harness/artifact.hh"
 #include "harness/artifact_store.hh"
 #include "harness/runner.hh"
 
@@ -186,6 +188,43 @@ class ArtifactCache
     GlobalResult getOrRun(const GlobalMatchSpec &spec);
 
     /**
+     * Generic resolution for extension artifact types (e.g. the
+     * stress lab's `TraceSpec`, src/eval/trace.hh). `Spec` provides
+     *   using Artifact = ...;           // has ArtifactTraits
+     *   std::string cacheKey() const;   // exact, namespaced key
+     *   std::string describe() const;   // provenance sidecar line
+     *   RunnerConfig config;            // config.store attaches disk
+     *   Artifact build(ArtifactCache &) const;  // compute on a miss
+     *                                   // (call noteSimulation per
+     *                                   //  simulator execution)
+     * New experiment products plug into the layered store — including
+     * the warm-store zero-simulation replay guarantee — with no
+     * harness changes.
+     */
+    template <typename Spec>
+    typename Spec::Artifact
+    getOrRun(const Spec &spec)
+    {
+        using Artifact = typename Spec::Artifact;
+        attachDiskStore(spec.config.store);
+        std::string blob = fetch(
+            spec.cacheKey(),
+            [](const std::string &b) {
+                Artifact value;
+                return decodeArtifact(b, value);
+            },
+            [&] { return encodeArtifact(spec.build(*this)); },
+            spec.describe());
+        Artifact value;
+        if (!decodeArtifact(blob, value))
+            mcd_panic("validated artifact blob failed to decode");
+        return value;
+    }
+
+    /** Count one simulator execution (build callbacks call this). */
+    void noteSimulation();
+
+    /**
      * Attach the persistent layer rooted at `root` (created on
      * demand). No-op when `root` is empty or already attached. A
      * *different* root while one is attached is a hard error (fatal):
@@ -264,9 +303,6 @@ class ArtifactCache
     /** Store a by-product blob under `key` in both layers. */
     void publish(const std::string &key, const std::string &blob,
                  const std::string &provenance);
-
-    /** Count one simulator execution (called from build lambdas). */
-    void noteSimulation();
 
     mutable std::mutex mutex_;
     std::unordered_map<std::string, std::shared_ptr<Inflight>>

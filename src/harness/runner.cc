@@ -7,11 +7,94 @@
 
 #include "common/env.hh"
 #include "common/logging.hh"
+#include "common/serial.hh"
 #include "harness/experiment.hh"
 #include "harness/parallel_sweep.hh"
 
 namespace mcd
 {
+
+namespace
+{
+
+using serial::appendDouble;
+using serial::appendI64;
+using serial::appendU64;
+
+void
+appendCacheConfig(std::string &out, const CacheConfig &c)
+{
+    serial::appendString(out, c.name);
+    appendU64(out, c.sizeBytes);
+    appendI64(out, c.associativity);
+    appendI64(out, c.lineBytes);
+}
+
+void
+appendMemoryConfig(std::string &out, const MemoryHierarchyConfig &m)
+{
+    appendCacheConfig(out, m.l1i);
+    appendCacheConfig(out, m.l1d);
+    appendCacheConfig(out, m.l2);
+    appendI64(out, static_cast<std::int64_t>(m.memory.accessLatency));
+    appendI64(out,
+              static_cast<std::int64_t>(m.memory.channelOccupancy));
+    appendI64(out, m.l1Latency);
+    appendI64(out, m.l2Latency);
+}
+
+void
+appendCoreConfig(std::string &out, const CoreConfig &c)
+{
+    appendI64(out, c.decodeWidth);
+    appendI64(out, c.intIssueWidth);
+    appendI64(out, c.fpIssueWidth);
+    appendI64(out, c.memIssueWidth);
+    appendI64(out, c.retireWidth);
+    appendI64(out, c.robSize);
+    appendI64(out, c.intIqSize);
+    appendI64(out, c.fpIqSize);
+    appendI64(out, c.lsqSize);
+    appendI64(out, c.intPhysRegs);
+    appendI64(out, c.fpPhysRegs);
+    appendI64(out, c.branchMispredictPenalty);
+    appendI64(out, c.intAluCount);
+    appendI64(out, c.fpAluCount);
+    appendI64(out, c.intAluLatency);
+    appendI64(out, c.intMultLatency);
+    appendI64(out, c.intDivLatency);
+    appendI64(out, c.fpAddLatency);
+    appendI64(out, c.fpMultLatency);
+    appendI64(out, c.fpDivLatency);
+    appendI64(out, c.fpSqrtLatency);
+    appendI64(out, c.mshrCount);
+    appendMemoryConfig(out, c.memory);
+    appendI64(out, c.intervalInstructions);
+}
+
+void
+appendDvfsConfig(std::string &out, const DvfsConfig &d)
+{
+    appendDouble(out, d.freqMax);
+    appendDouble(out, d.freqMin);
+    appendDouble(out, d.voltMax);
+    appendDouble(out, d.voltMin);
+    appendI64(out, d.numPoints);
+    appendDouble(out, d.slewNsPerMhz);
+    appendDouble(out, d.jitterSigmaPs);
+    appendDouble(out, d.syncWindowFraction);
+}
+
+void
+appendEnergyConfig(std::string &out, const EnergyConfig &e)
+{
+    appendDouble(out, e.referenceVoltage);
+    appendDouble(out, e.idleFraction);
+    appendDouble(out, e.mcdClockOverhead);
+    appendDouble(out, e.mainMemoryAccess);
+}
+
+} // namespace
 
 void
 RunnerConfig::applyEnvOverrides()
@@ -21,6 +104,29 @@ RunnerConfig::applyEnvOverrides()
     intervalInstructions = envInt("MCD_INTERVAL", intervalInstructions);
     jobs = envInt("MCD_JOBS", jobs);
     store = envString("MCD_STORE", store);
+}
+
+void
+RunnerConfig::appendTo(std::string &out) const
+{
+    appendU64(out, instructions);
+    appendU64(out, warmup);
+    appendU64(out, clockSeed);
+    appendI64(out, jitter ? 1 : 0);
+    appendI64(out, intervalInstructions);
+    appendCoreConfig(out, core);
+    appendDvfsConfig(out, dvfs);
+    appendEnergyConfig(out, energy);
+}
+
+std::string
+RunnerConfig::describe() const
+{
+    return logging_detail::format(
+        "insns=%llu warmup=%llu interval=%d seed=%llu jitter=%d",
+        static_cast<unsigned long long>(instructions),
+        static_cast<unsigned long long>(warmup), intervalInstructions,
+        static_cast<unsigned long long>(clockSeed), jitter ? 1 : 0);
 }
 
 Runner::Runner(const RunnerConfig &config)

@@ -72,6 +72,18 @@ struct RunnerConfig
     /** Apply MCD_INSNS / MCD_WARMUP / MCD_INTERVAL / MCD_JOBS /
      *  MCD_STORE env overrides. */
     void applyEnvOverrides();
+
+    /**
+     * Append the exact methodology+machine serialization every
+     * artifact cache key embeds (common/serial.hh byte layout).
+     * `jobs` and `store` are deliberately excluded: the determinism
+     * contract makes results worker-count independent, and the
+     * storage location never changes a value.
+     */
+    void appendTo(std::string &out) const;
+
+    /** One-line human-readable summary (provenance sidecars). */
+    std::string describe() const;
 };
 
 /** Result of an off-line Dynamic-X% search. */

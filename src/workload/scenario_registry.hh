@@ -25,10 +25,27 @@
  *                       (the core mostly waits, as if blocked on io)
  *                       before the busy mix resumes   (default 0:
  *                       no idle phases)
+ *       markov  [2..256] adversarial: seeded Markov chain over
+ *                       compute/mixed/memory regimes, that many
+ *                       segments per run — sticky enough to reward
+ *                       tracking, abrupt enough to punish decay
+ *                       (default 0: off)
+ *       square  [500..10000000] adversarial: square wave between a
+ *                       compute-bound and a memory-bound regime,
+ *                       flipping every `square` *instructions*
+ *                       (an absolute period — pick it near the
+ *                       controller's reaction window) (default 0: off)
+ *       drift   (0..1]  adversarial: slow monotonic memory-boundedness
+ *                       ramp spanning `drift` around `mem` over the
+ *                       whole run; per-interval deltas stay below the
+ *                       attack threshold, so only decay can track it
+ *                       (default 0: off)
  *       fp      [0..1]  floating-point fraction      (default 0)
  *       branch  [0..1]  data-branch unpredictability (default 0.25)
  *       seed    integer workload RNG seed            (default: from
  *                       the scenario name)
+ *   The adversarial knobs (markov, square, drift) are mutually
+ *   exclusive, and exclusive with burst and phases.
  */
 
 #ifndef MCD_WORKLOAD_SCENARIO_REGISTRY_HH
@@ -52,10 +69,18 @@ class ScenarioRegistry
     using FamilyFn =
         std::function<BenchmarkSpec(const std::string &name)>;
 
+    /** One knob of a parametric family, for listings and errors. */
+    struct KnobInfo
+    {
+        std::string name;
+        std::string doc; //!< range + one-line semantics
+    };
+
     struct FamilyInfo
     {
         std::string prefix;      //!< including the trailing ':'
         std::string description; //!< one line for `mcd_cli list`
+        std::vector<KnobInfo> knobs; //!< full knob set, in doc order
     };
 
     /** The process-wide registry, with built-ins pre-registered. */
@@ -66,10 +91,12 @@ class ScenarioRegistry
 
     /**
      * Register a parametric family under "prefix:"; any lookup whose
-     * name starts with the prefix is delegated to `fn`.
+     * name starts with the prefix is delegated to `fn`. `knobs`
+     * documents the family's full knob set for `mcd_cli list`.
      */
     void addFamily(const std::string &prefix,
-                   const std::string &description, FamilyFn fn);
+                   const std::string &description, FamilyFn fn,
+                   std::vector<KnobInfo> knobs = {});
 
     /** True for registered fixed names and family-prefixed names. */
     bool contains(const std::string &name) const;

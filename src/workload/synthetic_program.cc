@@ -53,13 +53,18 @@ SyntheticProgram::SyntheticProgram(const BenchmarkSpec &spec,
         mcd_fatal("benchmark '%s' has zero total phase weight",
                   spec_.name.c_str());
 
+    // Phase boundaries span one period: the whole horizon by default,
+    // or the spec's absolute periodInstructions (the program then
+    // cycles through the phase list until the horizon).
+    period_ = spec_.periodInstructions > 0 ? spec_.periodInstructions
+                                           : horizon_;
     double acc = 0.0;
     for (const auto &p : spec_.phases) {
         acc += p.weight / total_weight;
         phase_end_.push_back(static_cast<std::uint64_t>(
-            acc * static_cast<double>(horizon_)));
+            acc * static_cast<double>(period_)));
     }
-    phase_end_.back() = horizon_; // absorb rounding
+    phase_end_.back() = period_; // absorb rounding
 
     recent_int_.assign(8, 0);
     recent_fp_.assign(8, 32);
@@ -76,7 +81,7 @@ SyntheticProgram::phase() const
 void
 SyntheticProgram::selectPhase()
 {
-    std::uint64_t pos = instructions_ % horizon_;
+    std::uint64_t pos = instructions_ % period_;
     int index = 0;
     while (pos >= phase_end_[static_cast<std::size_t>(index)])
         ++index;

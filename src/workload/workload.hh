@@ -75,6 +75,16 @@ struct BenchmarkSpec
     std::string suite;        //!< "MediaBench", "Olden", "Spec2000"
     std::vector<PhaseSpec> phases;
     std::uint64_t seed = 1;
+
+    /**
+     * Absolute length, in instructions, of one pass through the phase
+     * list; the program cycles through it until the horizon. 0 (the
+     * default) keeps the classic behavior: weights scale over the
+     * whole horizon. Absolute periods let a scenario pin its phase-
+     * flip rate to the controller's reaction window regardless of the
+     * measured window size (the `synthetic:square=` stressor).
+     */
+    std::uint64_t periodInstructions = 0;
 };
 
 /**
@@ -124,6 +134,7 @@ class SyntheticProgram : public WorkloadGenerator
 
     BenchmarkSpec spec_;
     std::uint64_t horizon_;
+    std::uint64_t period_;  //!< instructions per pass through the phases
     std::vector<std::uint64_t> phase_end_; //!< cumulative boundaries
 
     Rng rng_;

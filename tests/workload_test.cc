@@ -521,5 +521,119 @@ TEST(ScenarioRegistry, UserScenariosRegisterOnce)
               suite.end());
 }
 
+TEST(ScenarioRegistry, UnknownKnobListsEveryValidKnob)
+{
+    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    // The error message is the knob documentation of last resort: it
+    // must name the full valid set, including the adversarial knobs.
+    EXPECT_DEATH(
+        ScenarioRegistry::instance().spec("synthetic:bogus=1"),
+        "unknown knob 'bogus'.*valid knobs: mem, ilp, phases, burst, "
+        "markov, square, drift, fp, branch, seed");
+}
+
+TEST(ScenarioRegistry, AdversarialKnobsAreMutuallyExclusive)
+{
+    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    ScenarioRegistry &registry = ScenarioRegistry::instance();
+    EXPECT_DEATH(registry.spec("synthetic:markov=8,square=1000"),
+                 "mutually exclusive");
+    EXPECT_DEATH(registry.spec("synthetic:drift=0.5,burst=0.5"),
+                 "mutually exclusive");
+    EXPECT_DEATH(registry.spec("synthetic:square=1000,phases=4"),
+                 "mutually exclusive");
+    EXPECT_DEATH(registry.spec("synthetic:square=100"),
+                 "below the 500-instruction minimum");
+    EXPECT_DEATH(registry.spec("synthetic:markov=1"),
+                 "at least 2 segments");
+    // Fractional values would truncate (markov=0.5 to 0, silently
+    // disabling the stressor); they must fail loudly instead.
+    EXPECT_DEATH(registry.spec("synthetic:markov=0.5"),
+                 "must be a whole number");
+    EXPECT_DEATH(registry.spec("synthetic:square=0.7"),
+                 "below the 500-instruction minimum");
+    EXPECT_DEATH(registry.spec("synthetic:square=1000.5"),
+                 "must be a whole number");
+}
+
+TEST(ScenarioRegistry, MarkovKnobBuildsASeededRegimeChain)
+{
+    ScenarioRegistry &registry = ScenarioRegistry::instance();
+    BenchmarkSpec chain = registry.spec("synthetic:markov=24,mem=0.5");
+    ASSERT_EQ(chain.phases.size(), 24u);
+    EXPECT_EQ(chain.periodInstructions, 0u); // weight-scaled
+
+    // The chain visits more than one regime, and equal names rebuild
+    // the identical chain (the regime RNG is seeded from the spec).
+    std::set<std::uint64_t> footprints;
+    for (const PhaseSpec &phase : chain.phases)
+        footprints.insert(phase.dataFootprint);
+    EXPECT_GE(footprints.size(), 2u);
+    BenchmarkSpec again = registry.spec("synthetic:markov=24,mem=0.5");
+    for (std::size_t i = 0; i < chain.phases.size(); ++i)
+        EXPECT_EQ(chain.phases[i].dataFootprint,
+                  again.phases[i].dataFootprint);
+
+    // A different seed shuffles the chain.
+    BenchmarkSpec other =
+        registry.spec("synthetic:markov=24,mem=0.5,seed=9");
+    bool differs = false;
+    for (std::size_t i = 0; i < chain.phases.size(); ++i)
+        differs = differs || chain.phases[i].dataFootprint !=
+                                 other.phases[i].dataFootprint;
+    EXPECT_TRUE(differs);
+}
+
+TEST(ScenarioRegistry, SquareKnobPinsAnAbsoluteFlipPeriod)
+{
+    ScenarioRegistry &registry = ScenarioRegistry::instance();
+    BenchmarkSpec square =
+        registry.spec("synthetic:square=1000,mem=0.5");
+    ASSERT_EQ(square.phases.size(), 2u);
+    EXPECT_EQ(square.periodInstructions, 2000u);
+    // The two regimes sit on opposite sides of the mem knob.
+    EXPECT_LT(square.phases[0].dataFootprint,
+              square.phases[1].dataFootprint);
+    EXPECT_GT(square.phases[0].depWindow, square.phases[1].depWindow);
+
+    // The absolute period holds at any horizon: over 100k
+    // instructions a 1000-instruction half-period flips ~100 times,
+    // where a weight-scaled 2-phase program would flip once.
+    SyntheticProgram program(square, 100000);
+    int flips = 0;
+    int last = program.currentPhase();
+    for (int i = 0; i < 100000; ++i) {
+        program.next();
+        if (program.currentPhase() != last) {
+            ++flips;
+            last = program.currentPhase();
+        }
+    }
+    EXPECT_GT(flips, 40);
+}
+
+TEST(ScenarioRegistry, DriftKnobRampsMonotonically)
+{
+    ScenarioRegistry &registry = ScenarioRegistry::instance();
+    BenchmarkSpec drift =
+        registry.spec("synthetic:drift=0.8,mem=0.5");
+    ASSERT_EQ(drift.phases.size(), 48u);
+    for (std::size_t i = 1; i < drift.phases.size(); ++i) {
+        EXPECT_GE(drift.phases[i].loadFrac,
+                  drift.phases[i - 1].loadFrac);
+        EXPECT_GE(drift.phases[i].dataFootprint,
+                  drift.phases[i - 1].dataFootprint);
+    }
+    // The ramp spans `drift` around `mem`: ends differ substantially.
+    EXPECT_GT(drift.phases.back().chaseFrac -
+                  drift.phases.front().chaseFrac,
+              0.3);
+    // Adjacent steps stay small — the whole point of the stressor.
+    for (std::size_t i = 1; i < drift.phases.size(); ++i)
+        EXPECT_LT(drift.phases[i].chaseFrac -
+                      drift.phases[i - 1].chaseFrac,
+                  0.02);
+}
+
 } // namespace
 } // namespace mcd
