@@ -16,6 +16,11 @@
  *               [--max-age <s>] [--tmp-age <s>] [--json]
  *   mcd_cli fleet <target>[,<target>...] [--procs <n>]
  *               [--retries <n>] [--store <dir>] [--json]
+ *               [--socket <path>]
+ *   mcd_cli serve --socket <path> [--store <dir>] [--workers <n>]
+ *               [--max-inflight <m>]
+ *   mcd_cli request --socket <path> (--ping | --stats | --shutdown |
+ *               --tournament [...] | --bench <name>[,...] [run flags])
  *
  * The usual environment knobs (MCD_INSNS, MCD_WARMUP, MCD_INTERVAL,
  * MCD_JOBS, MCD_STORE) set the methodology. Runs resolve through the
@@ -30,26 +35,33 @@
  */
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <map>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <unistd.h>
 
 #include "bench_util.hh"
 #include "common/env.hh"
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "eval/tournament.hh"
 #include "harness/artifact_store.hh"
 #include "harness/experiment.hh"
 #include "harness/fleet.hh"
 #include "harness/table.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
 #include "workload/scenario_registry.hh"
 
 using namespace mcd;
@@ -58,56 +70,10 @@ using namespace mcd::bench;
 namespace
 {
 
-// ------------------------------------------------------------- JSON
-// A minimal emitter: the output grammar is flat enough that a real
-// JSON library would be all dependency and no benefit.
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    for (char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
-
-std::string
-jsonStr(const std::string &s)
-{
-    return "\"" + jsonEscape(s) + "\"";
-}
-
-std::string
-jsonNum(double v)
-{
-    char buf[40];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    // JSON has no infinities or NaNs; the stats never produce them,
-    // but guard anyway.
-    if (std::strchr(buf, 'n') || std::strchr(buf, 'i'))
-        return "null";
-    return buf;
-}
-
-std::string
-jsonU64(std::uint64_t v)
-{
-    return std::to_string(v);
-}
+// JSON emission lives in common/json.hh (shared with the serve
+// daemon, whose replies must be byte-identical to this tool's
+// output); the per-experiment and cache-stats documents live in
+// serve/protocol.hh for the same reason.
 
 // ------------------------------------------------------------- list
 
@@ -137,8 +103,8 @@ listRegistries(bool json)
                     continue;
                 out += first ? "\n" : ",\n";
                 first = false;
-                out += "    {\"name\": " + jsonStr(name) +
-                       ", \"suite\": " + jsonStr(suite) + "}";
+                out += "    {\"name\": " + json::str(name) +
+                       ", \"suite\": " + json::str(suite) + "}";
             }
         }
         out += "\n  ],\n  \"families\": [";
@@ -146,15 +112,15 @@ listRegistries(bool json)
         for (const auto &family : scenarios.families()) {
             out += first ? "\n" : ",\n";
             first = false;
-            out += "    {\"prefix\": " + jsonStr(family.prefix) +
-                   ", \"description\": " + jsonStr(family.description) +
+            out += "    {\"prefix\": " + json::str(family.prefix) +
+                   ", \"description\": " + json::str(family.description) +
                    ", \"knobs\": [";
             bool first_knob = true;
             for (const auto &knob : family.knobs) {
                 out += first_knob ? "" : ", ";
                 first_knob = false;
-                out += "{\"name\": " + jsonStr(knob.name) +
-                       ", \"doc\": " + jsonStr(knob.doc) + "}";
+                out += "{\"name\": " + json::str(knob.name) +
+                       ", \"doc\": " + json::str(knob.doc) + "}";
             }
             out += "]}";
         }
@@ -163,8 +129,8 @@ listRegistries(bool json)
         for (const auto &info : controllers.list()) {
             out += first ? "\n" : ",\n";
             first = false;
-            out += "    {\"name\": " + jsonStr(info.name) +
-                   ", \"description\": " + jsonStr(info.description) +
+            out += "    {\"name\": " + json::str(info.name) +
+                   ", \"description\": " + json::str(info.description) +
                    "}";
         }
         out += "\n  ]\n}\n";
@@ -200,29 +166,6 @@ listRegistries(bool json)
 
 // ------------------------------------------------------------ cache
 
-std::string
-cacheJsonObject(const ArtifactCache &cache)
-{
-    std::string out = "{";
-    out += "\"lookups\": " + jsonU64(cache.lookups());
-    out += ", \"hits\": " + jsonU64(cache.hits());
-    out += ", \"disk_hits\": " + jsonU64(cache.diskHits());
-    out += ", \"simulations\": " + jsonU64(cache.simulationsRun());
-    out += ", \"memory_entries\": " +
-           jsonU64(static_cast<std::uint64_t>(cache.size()));
-    std::string root = cache.storeRoot();
-    if (root.empty()) {
-        out += ", \"store_root\": null";
-    } else {
-        out += ", \"store_root\": " + jsonStr(root);
-        out += ", \"disk_entries\": " +
-               jsonU64(static_cast<std::uint64_t>(cache.diskEntries()));
-        out += ", \"disk_bytes\": " + jsonU64(cache.diskBytes());
-    }
-    out += "}";
-    return out;
-}
-
 std::uint64_t
 parseU64Flag(const std::string &flag, const std::string &text)
 {
@@ -255,15 +198,15 @@ pruneCli(const std::string &root, std::uint64_t max_bytes,
 
     if (json) {
         std::string out = "{\n  \"prune\": {";
-        out += "\"store_root\": " + jsonStr(root);
+        out += "\"store_root\": " + json::str(root);
         out += ", \"entries_removed\": " +
-               jsonU64(report.entriesRemoved);
-        out += ", \"bytes_removed\": " + jsonU64(report.bytesRemoved);
-        out += ", \"tmps_removed\": " + jsonU64(report.tmpsRemoved);
+               json::u64(report.entriesRemoved);
+        out += ", \"bytes_removed\": " + json::u64(report.bytesRemoved);
+        out += ", \"tmps_removed\": " + json::u64(report.tmpsRemoved);
         out += ", \"sidecars_removed\": " +
-               jsonU64(report.sidecarsRemoved);
-        out += ", \"entries_kept\": " + jsonU64(report.entriesKept);
-        out += ", \"bytes_kept\": " + jsonU64(report.bytesKept);
+               json::u64(report.sidecarsRemoved);
+        out += ", \"entries_kept\": " + json::u64(report.entriesKept);
+        out += ", \"bytes_kept\": " + json::u64(report.bytesKept);
         out += "}\n}\n";
         std::fputs(out.c_str(), stdout);
         return 0;
@@ -366,30 +309,30 @@ fleetCli(const std::vector<std::string> &names, int procs, int retries,
         std::string out = "{\n  \"fleet\": {\n    \"procs\": " +
                           std::to_string(std::max(1, procs));
         out += ",\n    \"store\": " +
-               (store.empty() ? std::string("null") : jsonStr(store));
+               (store.empty() ? std::string("null") : json::str(store));
         out += ",\n    \"failed\": " +
-               jsonU64(static_cast<std::uint64_t>(report.failed));
+               json::u64(static_cast<std::uint64_t>(report.failed));
         out += ",\n    \"retried\": " +
-               jsonU64(static_cast<std::uint64_t>(report.retried));
+               json::u64(static_cast<std::uint64_t>(report.retried));
         out += ",\n    \"targets\": [";
         bool first = true;
         for (const auto &t : report.targets) {
             out += first ? "\n" : ",\n";
             first = false;
-            out += "      {\"name\": " + jsonStr(t.name) +
+            out += "      {\"name\": " + json::str(t.name) +
                    ", \"succeeded\": " +
                    (t.succeeded ? "true" : "false") +
                    ", \"exit\": " + std::to_string(t.exitCode) +
                    ", \"attempts\": " + std::to_string(t.attempts) +
-                   ", \"simulations\": " + jsonU64(t.store.simulations) +
-                   ", \"lookups\": " + jsonU64(t.store.lookups) + "}";
+                   ", \"simulations\": " + json::u64(t.store.simulations) +
+                   ", \"lookups\": " + json::u64(t.store.lookups) + "}";
         }
         out += "\n    ],\n    \"merged\": {";
-        out += "\"lookups\": " + jsonU64(report.merged.lookups);
-        out += ", \"hits\": " + jsonU64(report.merged.hits);
-        out += ", \"disk_hits\": " + jsonU64(report.merged.diskHits);
+        out += "\"lookups\": " + json::u64(report.merged.lookups);
+        out += ", \"hits\": " + json::u64(report.merged.hits);
+        out += ", \"disk_hits\": " + json::u64(report.merged.diskHits);
         out += ", \"simulations\": " +
-               jsonU64(report.merged.simulations);
+               json::u64(report.merged.simulations);
         out += "}\n  }\n}\n";
         std::fputs(out.c_str(), stdout);
         return report.failed == 0 ? 0 : 1;
@@ -425,62 +368,6 @@ fleetCli(const std::vector<std::string> &names, int procs, int retries,
 }
 
 // ------------------------------------------------------- tournament
-
-std::string
-tournamentCellJson(const TournamentCell &cell)
-{
-    std::string out = "      {";
-    out += "\"scenario\": " + jsonStr(cell.scenario);
-    out += ", \"controller\": " + jsonStr(cell.controller);
-    out += ", \"mean_freq_error\": " +
-           jsonNum(cell.regret.meanFreqError);
-    out += ", \"worst_freq_error\": " +
-           jsonNum(cell.regret.worstFreqError);
-    out += ", \"edp_gap\": " + jsonNum(cell.regret.edpGap);
-    out += ", \"energy_gap\": " + jsonNum(cell.regret.energyGap);
-    out += ", \"time_gap\": " + jsonNum(cell.regret.timeGap);
-    out += ", \"flips\": " +
-           jsonU64(static_cast<std::uint64_t>(cell.regret.flips));
-    out += ", \"flips_tracked\": " +
-           jsonU64(static_cast<std::uint64_t>(
-               cell.regret.flipsTracked));
-    out += ", \"mean_reaction_intervals\": " +
-           jsonNum(cell.regret.meanReactionIntervals);
-    out += ", \"worst_reaction_intervals\": " +
-           jsonNum(cell.regret.worstReactionIntervals);
-    out += ", \"oracle_margin\": " + jsonNum(cell.oracle.margin);
-    out += ", \"online_time_ps\": " +
-           jsonU64(static_cast<std::uint64_t>(cell.online.time));
-    out += ", \"oracle_time_ps\": " +
-           jsonU64(static_cast<std::uint64_t>(cell.oracle.stats.time));
-    out += ", \"online_energy_nj\": " + jsonNum(cell.online.chipEnergy);
-    out += ", \"oracle_energy_nj\": " +
-           jsonNum(cell.oracle.stats.chipEnergy);
-    out += "}";
-    return out;
-}
-
-std::string
-tournamentStandingJson(const TournamentStanding &s, int rank)
-{
-    std::string out = "      {";
-    out += "\"rank\": " + std::to_string(rank);
-    out += ", \"controller\": " + jsonStr(s.controller);
-    out += ", \"cells\": " +
-           jsonU64(static_cast<std::uint64_t>(s.cells));
-    out += ", \"mean_freq_error\": " + jsonNum(s.meanFreqError);
-    out += ", \"worst_freq_error\": " + jsonNum(s.worstFreqError);
-    out += ", \"mean_edp_gap\": " + jsonNum(s.meanEdpGap);
-    out += ", \"worst_edp_gap\": " + jsonNum(s.worstEdpGap);
-    out += ", \"mean_reaction_intervals\": " +
-           jsonNum(s.meanReactionIntervals);
-    out += ", \"flips\": " +
-           jsonU64(static_cast<std::uint64_t>(s.flips));
-    out += ", \"flips_tracked\": " +
-           jsonU64(static_cast<std::uint64_t>(s.flipsTracked));
-    out += "}";
-    return out;
-}
 
 int
 tournamentCli(const std::vector<std::string> &scenario_args,
@@ -566,39 +453,12 @@ tournamentCli(const std::vector<std::string> &scenario_args,
     }
 
     if (json) {
-        std::string out = "{\n  \"tournament\": {\n";
-        out += "    \"target_deg\": " + jsonNum(options.targetDeg) +
-               ",\n";
-        out += "    \"scenarios\": [";
-        bool first = true;
-        for (const auto &scenario : options.scenarios) {
-            out += first ? "" : ", ";
-            first = false;
-            out += jsonStr(scenario);
-        }
-        out += "],\n    \"controllers\": [";
-        first = true;
-        for (const auto &entry : options.controllers) {
-            out += first ? "" : ", ";
-            first = false;
-            out += jsonStr(entry.label);
-        }
-        out += "],\n    \"cells\": [\n";
-        for (std::size_t i = 0; i < result.cells.size(); ++i) {
-            out += tournamentCellJson(result.cells[i]);
-            out += i + 1 < result.cells.size() ? ",\n" : "\n";
-        }
-        out += "    ],\n    \"standings\": [\n";
-        for (std::size_t i = 0; i < result.standings.size(); ++i) {
-            out += tournamentStandingJson(result.standings[i],
-                                          static_cast<int>(i) + 1);
-            out += i + 1 < result.standings.size() ? ",\n" : "\n";
-        }
-        // No cache counters here, unlike `run --json`: tournament
-        // stdout stays byte-identical between cold, warm, and fleet
-        // runs (CI diffs it); the counters go to stderr below.
-        out += "    ]\n  }\n}\n";
-        std::fputs(out.c_str(), stdout);
+        // The shared renderer (also behind the daemon's `tournament`
+        // verb) carries no cache counters, so stdout stays
+        // byte-identical between cold, warm, fleet, and served runs
+        // (CI diffs it); the counters go to stderr below.
+        std::fputs(renderTournamentJson(options, result).c_str(),
+                   stdout);
         reportStoreStats();
         return 0;
     }
@@ -621,7 +481,8 @@ cacheStatsCli(const std::string &store, bool json)
 
     if (json) {
         std::string out =
-            "{\n  \"cache\": " + cacheJsonObject(cache) + "\n}\n";
+            "{\n  \"cache\": " + serve::cacheStatsJson(cache) +
+            "\n}\n";
         std::fputs(out.c_str(), stdout);
         return 0;
     }
@@ -631,6 +492,8 @@ cacheStatsCli(const std::string &store, bool json)
     table.addRow({"lookups", std::to_string(cache.lookups())});
     table.addRow({"hits", std::to_string(cache.hits())});
     table.addRow({"disk hits", std::to_string(cache.diskHits())});
+    table.addRow({"in-flight joins",
+                  std::to_string(cache.inflightJoins())});
     table.addRow({"simulations run",
                   std::to_string(cache.simulationsRun())});
     table.addRow({"memory entries", std::to_string(cache.size())});
@@ -646,62 +509,6 @@ cacheStatsCli(const std::string &store, bool json)
 }
 
 // -------------------------------------------------------------- run
-
-std::string
-runJson(const ExperimentSpec &spec, const SimStats &stats)
-{
-    char hash[32];
-    std::snprintf(hash, sizeof(hash), "%016llx",
-                  static_cast<unsigned long long>(spec.hash()));
-
-    std::string params = "{";
-    bool first = true;
-    for (const auto &[key, value] : spec.controller.params) {
-        params += first ? "" : ", ";
-        first = false;
-        params += jsonStr(key) + ": " + jsonNum(value);
-    }
-    params += "}";
-
-    std::string out = "    {\n";
-    out += "      \"benchmark\": " + jsonStr(spec.benchmark) + ",\n";
-    out += "      \"mode\": " +
-           jsonStr(spec.mode == ClockMode::Mcd ? "mcd" : "sync") +
-           ",\n";
-    out += "      \"controller\": " + jsonStr(spec.controller.name) +
-           ",\n";
-    out += "      \"params\": " + params + ",\n";
-    out += "      \"start_freq_hz\": " +
-           jsonNum(spec.resolvedStartFreq()) + ",\n";
-    out += "      \"instructions\": " +
-           jsonU64(spec.config.instructions) + ",\n";
-    out += "      \"warmup\": " + jsonU64(spec.config.warmup) + ",\n";
-    out += "      \"interval\": " +
-           std::to_string(spec.config.intervalInstructions) + ",\n";
-    out += "      \"clock_seed\": " + jsonU64(spec.config.clockSeed) +
-           ",\n";
-    out += "      \"spec_hash\": " + jsonStr(hash) + ",\n";
-    out += "      \"stats\": {\n";
-    out += "        \"instructions\": " + jsonU64(stats.instructions) +
-           ",\n";
-    out += "        \"fe_cycles\": " + jsonU64(stats.feCycles) + ",\n";
-    out += "        \"time_ps\": " +
-           jsonU64(static_cast<std::uint64_t>(stats.time)) + ",\n";
-    out += "        \"chip_energy_nj\": " + jsonNum(stats.chipEnergy) +
-           ",\n";
-    out += "        \"cpi\": " + jsonNum(stats.cpi) + ",\n";
-    out += "        \"epi_nj\": " + jsonNum(stats.epi) + ",\n";
-    out += "        \"branches\": " + jsonU64(stats.branches) + ",\n";
-    out += "        \"mispredicts\": " + jsonU64(stats.mispredicts) +
-           ",\n";
-    out += "        \"loads\": " + jsonU64(stats.loads) + ",\n";
-    out += "        \"stores\": " + jsonU64(stats.stores) + ",\n";
-    out += "        \"l1d_misses\": " + jsonU64(stats.l1dMisses) +
-           ",\n";
-    out += "        \"l2_misses\": " + jsonU64(stats.l2Misses) + "\n";
-    out += "      }\n    }";
-    return out;
-}
 
 int
 runExperimentsCli(const std::vector<std::string> &benches,
@@ -730,10 +537,10 @@ runExperimentsCli(const std::vector<std::string> &benches,
     if (json) {
         std::string out = "{\n  \"experiments\": [\n";
         for (std::size_t i = 0; i < specs.size(); ++i) {
-            out += runJson(specs[i], results[i]);
+            out += serve::experimentResultJson(specs[i], results[i]);
             out += i + 1 < specs.size() ? ",\n" : "\n";
         }
-        out += "  ],\n  \"cache\": " + cacheJsonObject(cache) +
+        out += "  ],\n  \"cache\": " + serve::cacheStatsJson(cache) +
                "\n}\n";
         std::fputs(out.c_str(), stdout);
         return 0;
@@ -763,6 +570,387 @@ runExperimentsCli(const std::vector<std::string> &benches,
     return 0;
 }
 
+// ------------------------------------------------------------- serve
+
+serve::Server *g_server = nullptr;
+
+void
+stopSignalHandler(int)
+{
+    // requestStop only writes one byte to a pipe: async-signal-safe.
+    if (g_server)
+        g_server->requestStop();
+}
+
+int
+serveCli(const std::vector<std::string> &args)
+{
+    serve::ServeOptions options;
+    options.config = standardConfig();
+
+    auto value = [&](std::size_t &i) -> std::string {
+        if (i + 1 >= args.size())
+            mcd_fatal("option '%s' needs a value", args[i].c_str());
+        return args[++i];
+    };
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--socket") {
+            options.socketPath = value(i);
+        } else if (arg == "--store") {
+            options.config.store = value(i);
+        } else if (arg == "--workers") {
+            options.workers = static_cast<int>(
+                parseU64Flag("--workers", value(i)));
+        } else if (arg == "--max-inflight") {
+            options.maxInflight = static_cast<int>(
+                parseU64Flag("--max-inflight", value(i)));
+        } else {
+            mcd_fatal("serve: unknown argument '%s'", arg.c_str());
+        }
+    }
+    if (options.socketPath.empty())
+        mcd_fatal("serve needs --socket <path>");
+
+    serve::Server server(options);
+    g_server = &server;
+    std::signal(SIGINT, stopSignalHandler);
+    std::signal(SIGTERM, stopSignalHandler);
+    server.run();
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    g_server = nullptr;
+    return 0;
+}
+
+// ----------------------------------------------------------- request
+
+/** Build the `run` request object for one scenario list. */
+std::string
+runRequestJson(const std::vector<std::string> &benches,
+               const std::string &controller, const std::string &mode,
+               Hertz freq, std::uint64_t seed, bool have_seed)
+{
+    std::string out = "{\"op\": \"run\", \"benches\": [";
+    bool first = true;
+    for (const auto &bench : benches) {
+        out += first ? "" : ", ";
+        first = false;
+        out += json::str(bench);
+    }
+    out += "]";
+    if (!controller.empty())
+        out += ", \"controller\": " + json::str(controller);
+    if (mode != "mcd")
+        out += ", \"mode\": " + json::str(mode);
+    if (freq > 0.0)
+        out += ", \"freq\": " + json::num(freq);
+    if (have_seed)
+        out += ", \"seed\": " + json::u64(seed);
+    out += "}";
+    return out;
+}
+
+/**
+ * Drive one `run` request and collate the streamed results by index.
+ * Returns false on transport failure or an `error` terminal; the
+ * collated per-experiment payloads land in `payloads`.
+ */
+bool
+collectRun(serve::ServeClient &client, const std::string &request,
+           std::vector<std::string> &payloads,
+           std::uint64_t &cold_units, std::uint64_t &warm_units,
+           std::string &error)
+{
+    std::map<std::uint64_t, std::string> by_index;
+    json::Value terminal;
+    if (!client.call(
+            request,
+            [&](const json::Value &event) {
+                if (event.getString("event") == "result")
+                    by_index[event.getU64("index", 0)] =
+                        event.getString("payload");
+            },
+            terminal, &error))
+        return false;
+    if (terminal.getString("event") != "done") {
+        error = terminal.getString("error", "request failed");
+        return false; // structured error from the daemon
+    }
+    for (auto &entry : by_index)
+        payloads.push_back(std::move(entry.second));
+    cold_units += terminal.getU64("cold_units", 0);
+    warm_units += terminal.getU64("warm_units", 0);
+    return true;
+}
+
+/**
+ * Print the collated experiments document. The "experiments" block is
+ * byte-identical to `mcd_cli run --json`'s for the same specs — the
+ * payloads are the exact per-experiment entries — while the trailer is
+ * daemon-side bookkeeping instead of process-local cache counters.
+ */
+void
+printExperimentsDocument(const std::vector<std::string> &payloads,
+                         std::uint64_t cold_units,
+                         std::uint64_t warm_units)
+{
+    std::string out = "{\n  \"experiments\": [\n";
+    for (std::size_t i = 0; i < payloads.size(); ++i) {
+        out += payloads[i];
+        out += i + 1 < payloads.size() ? ",\n" : "\n";
+    }
+    out += "  ],\n  \"serve\": {\"results\": " +
+           json::u64(static_cast<std::uint64_t>(payloads.size())) +
+           ", \"cold_units\": " + json::u64(cold_units) +
+           ", \"warm_units\": " + json::u64(warm_units) + "}\n}\n";
+    std::fputs(out.c_str(), stdout);
+}
+
+int
+requestCli(const std::vector<std::string> &args)
+{
+    std::string socket;
+    std::string op; // "", "ping", "stats", "shutdown", "tournament"
+    std::vector<std::string> benches;
+    std::string controller;
+    std::string mode = "mcd";
+    Hertz freq = 0.0;
+    std::uint64_t seed = 0;
+    bool have_seed = false;
+    std::vector<std::string> tournament_scenarios;
+    std::vector<std::string> tournament_controllers;
+    double target_deg = 0.05;
+    bool have_target_deg = false;
+
+    auto value = [&](std::size_t &i) -> std::string {
+        if (i + 1 >= args.size())
+            mcd_fatal("option '%s' needs a value", args[i].c_str());
+        return args[++i];
+    };
+    auto set_op = [&](const std::string &what) {
+        if (!op.empty())
+            mcd_fatal("request: --%s conflicts with --%s",
+                      what.c_str(), op.c_str());
+        op = what;
+    };
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--socket") {
+            socket = value(i);
+        } else if (arg == "--ping" || arg == "--stats" ||
+                   arg == "--shutdown" || arg == "--tournament") {
+            set_op(arg.substr(2));
+        } else if (arg == "--bench") {
+            for (const auto &name : splitScenarioList(value(i)))
+                benches.push_back(name);
+        } else if (arg == "--controller") {
+            controller = value(i);
+        } else if (arg == "--mode") {
+            mode = value(i);
+            if (mode != "mcd" && mode != "sync")
+                mcd_fatal("--mode must be 'mcd' or 'sync', not '%s'",
+                          mode.c_str());
+        } else if (arg == "--freq") {
+            freq = std::strtod(value(i).c_str(), nullptr);
+            if (freq <= 0.0)
+                mcd_fatal("--freq needs a positive frequency in Hz");
+        } else if (arg == "--seed") {
+            seed = std::strtoull(value(i).c_str(), nullptr, 10);
+            have_seed = true;
+        } else if (arg == "--scenarios") {
+            for (const auto &name : splitScenarioList(value(i)))
+                tournament_scenarios.push_back(name);
+        } else if (arg == "--controllers") {
+            // Same ';'-separated grammar as `mcd_cli tournament`.
+            std::string v = value(i);
+            std::size_t pos = 0;
+            while (pos <= v.size()) {
+                auto semi = v.find(';', pos);
+                std::string item = v.substr(
+                    pos, semi == std::string::npos ? std::string::npos
+                                                   : semi - pos);
+                pos = semi == std::string::npos ? v.size() + 1
+                                                : semi + 1;
+                if (!item.empty())
+                    tournament_controllers.push_back(item);
+            }
+        } else if (arg == "--target-deg") {
+            target_deg = std::strtod(value(i).c_str(), nullptr);
+            have_target_deg = true;
+        } else if (arg == "--json") {
+            // accepted for symmetry; request output is always JSON
+        } else {
+            mcd_fatal("request: unknown argument '%s'", arg.c_str());
+        }
+    }
+    if (socket.empty())
+        mcd_fatal("request needs --socket <path>");
+    if (op.empty() && benches.empty())
+        mcd_fatal("request needs --ping, --stats, --shutdown, "
+                  "--tournament, or --bench <name>[,...]");
+
+    serve::ServeClient client;
+    std::string error;
+    if (!client.connect(socket, &error))
+        mcd_fatal("%s", error.c_str());
+
+    if (op == "ping" || op == "stats" || op == "shutdown") {
+        std::string request = op == "ping" ? "{\"op\": \"ping\"}"
+                              : op == "stats"
+                                  ? "{\"op\": \"cache-stats\"}"
+                                  : "{\"op\": \"shutdown\"}";
+        json::Value terminal;
+        std::string raw;
+        if (!client.send(request, &error) ||
+            client.recv(raw) != serve::FrameStatus::Ok)
+            mcd_fatal("request failed: %s", error.c_str());
+        std::printf("%s\n", raw.c_str());
+        return 0;
+    }
+
+    if (op == "tournament") {
+        std::string request = "{\"op\": \"tournament\"";
+        if (!tournament_scenarios.empty()) {
+            request += ", \"scenarios\": [";
+            bool first = true;
+            for (const auto &name : tournament_scenarios) {
+                request += first ? "" : ", ";
+                first = false;
+                request += json::str(name);
+            }
+            request += "]";
+        }
+        if (!tournament_controllers.empty()) {
+            request += ", \"controllers\": [";
+            bool first = true;
+            for (const auto &spec : tournament_controllers) {
+                request += first ? "" : ", ";
+                first = false;
+                request += json::str(spec);
+            }
+            request += "]";
+        }
+        if (have_target_deg)
+            request += ", \"target_deg\": " + json::num(target_deg);
+        request += "}";
+
+        std::string payload;
+        json::Value terminal;
+        if (!client.call(
+                request,
+                [&](const json::Value &event) {
+                    if (event.getString("event") == "result")
+                        payload = event.getString("payload");
+                },
+                terminal, &error))
+            mcd_fatal("request failed: %s", error.c_str());
+        if (terminal.getString("event") != "done")
+            mcd_fatal("daemon: %s",
+                      terminal.getString("error", "request failed")
+                          .c_str());
+        // The payload is the exact `mcd_cli tournament --json` stdout.
+        std::fputs(payload.c_str(), stdout);
+        return 0;
+    }
+
+    std::vector<std::string> payloads;
+    std::uint64_t cold_units = 0;
+    std::uint64_t warm_units = 0;
+    if (!collectRun(client,
+                    runRequestJson(benches, controller, mode, freq,
+                                   seed, have_seed),
+                    payloads, cold_units, warm_units, error))
+        mcd_fatal("request failed: %s", error.c_str());
+    if (payloads.size() != benches.size())
+        mcd_fatal("daemon: %s", error.empty()
+                                    ? "incomplete result stream"
+                                    : error.c_str());
+    printExperimentsDocument(payloads, cold_units, warm_units);
+    return 0;
+}
+
+/**
+ * fleet --socket: shard scenario targets across `procs` client
+ * connections to one daemon instead of across worker processes. Each
+ * target is one scenario name, dispatched as a single-bench `run`;
+ * the per-experiment payloads are collated in submission order, so
+ * stdout is byte-identical for any --procs (and its "experiments"
+ * block matches `mcd_cli run --json --bench <all targets>`).
+ */
+int
+fleetSocketCli(const std::vector<std::string> &names,
+               const std::string &socket, int procs)
+{
+    struct Slot
+    {
+        std::string payload;
+        std::string error;
+        bool ok = false;
+    };
+    std::vector<Slot> slots(names.size());
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::uint64_t> cold_units{0};
+    std::atomic<std::uint64_t> warm_units{0};
+
+    int threads = std::max(
+        1, std::min(procs, static_cast<int>(names.size())));
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&] {
+            serve::ServeClient client;
+            std::string error;
+            if (!client.connect(socket, &error)) {
+                std::size_t i;
+                while ((i = next.fetch_add(1)) < slots.size())
+                    slots[i].error = error;
+                return;
+            }
+            std::size_t i;
+            while ((i = next.fetch_add(1)) < slots.size()) {
+                std::vector<std::string> payloads;
+                std::uint64_t cold = 0;
+                std::uint64_t warm = 0;
+                std::string err;
+                if (collectRun(client,
+                               runRequestJson({names[i]}, "", "mcd",
+                                              0.0, 0, false),
+                               payloads, cold, warm, err) &&
+                    payloads.size() == 1) {
+                    slots[i].payload = std::move(payloads[0]);
+                    slots[i].ok = true;
+                    cold_units.fetch_add(cold);
+                    warm_units.fetch_add(warm);
+                } else {
+                    slots[i].error =
+                        err.empty() ? "incomplete result stream"
+                                    : err;
+                }
+            }
+        });
+    }
+    for (auto &worker : workers)
+        worker.join();
+
+    std::size_t failed = 0;
+    std::vector<std::string> payloads;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+        if (slots[i].ok) {
+            payloads.push_back(std::move(slots[i].payload));
+        } else {
+            ++failed;
+            std::fprintf(stderr, "fleet: %s failed: %s\n",
+                         names[i].c_str(), slots[i].error.c_str());
+        }
+    }
+    printExperimentsDocument(payloads, cold_units.load(),
+                             warm_units.load());
+    std::fprintf(stderr,
+                 "fleet socket: targets=%zu failed=%zu procs=%d\n",
+                 names.size(), failed, threads);
+    return failed == 0 ? 0 : 1;
+}
+
 void
 usage()
 {
@@ -785,11 +973,42 @@ usage()
         "                                   garbage-collect the store\n"
         "  mcd_cli fleet <target>[,<target>...] [--procs <n>]\n"
         "              [--retries <n>] [--store <dir>] [--json]\n"
+        "              [--socket <path>]\n"
         "                                   shard figure/ablation "
         "binaries\n"
         "                                   across worker processes "
         "sharing\n"
-        "                                   one store\n"
+        "                                   one store; with --socket, "
+        "shard\n"
+        "                                   scenario targets across "
+        "client\n"
+        "                                   connections to a serve "
+        "daemon\n"
+        "  mcd_cli serve --socket <path> [--store <dir>] "
+        "[--workers <n>]\n"
+        "              [--max-inflight <m>]\n"
+        "                                   long-lived daemon: one "
+        "warm\n"
+        "                                   artifact cache + worker "
+        "pool\n"
+        "                                   serving concurrent "
+        "clients over\n"
+        "                                   a Unix socket (run / "
+        "tournament /\n"
+        "                                   cache-stats / ping / "
+        "shutdown)\n"
+        "  mcd_cli request --socket <path> (--ping | --stats | "
+        "--shutdown |\n"
+        "              --tournament [--scenarios ...] "
+        "[--controllers ...]\n"
+        "              [--target-deg <frac>] |\n"
+        "              --bench <name>[,...] [--controller <spec>]\n"
+        "              [--mode mcd|sync] [--freq <hz>] [--seed <n>])\n"
+        "                                   one request against a "
+        "running\n"
+        "                                   daemon; run results are\n"
+        "                                   byte-identical to "
+        "`mcd_cli run`\n"
         "  mcd_cli tournament [--scenarios <name>[,...]|corpus]...\n"
         "              [--controllers <spec>[;<spec>...]]...\n"
         "              [--target-deg <frac>] [--procs <n>]\n"
@@ -821,6 +1040,12 @@ usage()
         "synthetic:square=4000,mem=0.5,gsm \\\n"
         "      --controllers \"attack_decay;"
         "attack_decay:reaction_change=0.12\"\n"
+        "  mcd_cli serve --socket /tmp/mcd.sock --store "
+        "/tmp/mcd-store &\n"
+        "  mcd_cli request --socket /tmp/mcd.sock --bench gsm,mcf\n"
+        "  mcd_cli fleet gsm,mcf,adpcm --socket /tmp/mcd.sock "
+        "--procs 3\n"
+        "  mcd_cli request --socket /tmp/mcd.sock --shutdown\n"
         "\n"
         "fleet targets: fig2..fig7, table3, table6, endstop, frontend,\n"
         "               global, interval, listing, mcd_overhead, any\n"
@@ -842,6 +1067,14 @@ main(int argc, char **argv)
         return 2;
     }
 
+    // The serving subcommands own their flag grammar (a socket
+    // daemon/client has nothing in common with the batch flags), so
+    // they dispatch before the shared parse loop.
+    if (args[0] == "serve")
+        return serveCli({args.begin() + 1, args.end()});
+    if (args[0] == "request")
+        return requestCli({args.begin() + 1, args.end()});
+
     bool json = false;
     bool do_list = false;
     bool do_run = false;
@@ -861,6 +1094,7 @@ main(int argc, char **argv)
     std::uint64_t seed = 0;
     bool have_seed = false;
     std::string store; // --store; "" defers to MCD_STORE
+    std::string fleet_socket; // fleet --socket: serve-daemon mode
     // Fleet worker processes. Deliberately defaults to serial: each
     // worker is itself fully multithreaded (MCD_JOBS), so fanning out
     // processes is an explicit --procs opt-in, not an ambient default.
@@ -921,8 +1155,17 @@ main(int argc, char **argv)
             tmp_age = static_cast<std::int64_t>(
                 parseU64Flag("--tmp-age", value(i)));
         } else if (do_fleet && !arg.empty() && arg[0] != '-') {
-            for (const auto &name : splitList(arg))
+            // Scenario-aware splitting: identical to splitList for
+            // binary targets (no ':' in their names), and it keeps a
+            // `synthetic:` scenario's knobs together for --socket
+            // mode, where targets are scenario names.
+            for (const auto &name : splitScenarioList(arg))
                 fleet_targets.push_back(name);
+        } else if (arg == "--socket") {
+            fleet_socket = value(i);
+            if (!do_fleet)
+                mcd_fatal("--socket only applies to fleet (or the "
+                          "serve/request subcommands)");
         } else if (arg == "--store") {
             store = value(i);
             if (store.empty())
@@ -983,6 +1226,11 @@ main(int argc, char **argv)
         if (fleet_targets.empty())
             mcd_fatal("fleet needs at least one target "
                       "(e.g. fleet fig5,table6)");
+        // Socket mode: targets are scenario names, dispatched to a
+        // running serve daemon over --procs connections instead of
+        // spawning worker processes.
+        if (!fleet_socket.empty())
+            return fleetSocketCli(fleet_targets, fleet_socket, procs);
         // Workers inherit MCD_STORE unless --store overrides; resolve
         // here so the merged report and the children agree on the root.
         std::string root =

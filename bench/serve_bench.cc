@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Throughput benchmark for the serve daemon: an in-process Server on a
+ * private ArtifactCache, driven through the real socket + framing
+ * stack by a ServeClient. Three measurements:
+ *
+ *   ping       round-trip time of the cheapest verb (protocol floor)
+ *   cold       requests/sec when every request simulates (distinct
+ *              clock seeds defeat the cache)
+ *   warm       requests/sec when every request is a memory hit (one
+ *              spec repeated — the daemon's reason to exist)
+ *
+ * The warm/cold ratio is the headline: it bounds what a fleet of
+ * clients sharing a spec population saves by talking to one warm
+ * daemon instead of re-running `mcd_cli run` cold each time.
+ *
+ *   serve_bench [--json] [--pings N] [--cold N] [--warm N]
+ *
+ * `--json` emits one machine-readable object per run — CI uploads it
+ * as `BENCH_serve.json`.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "common/logging.hh"
+#include "harness/experiment.hh"
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
+
+namespace
+{
+
+using namespace mcd;
+using namespace mcd::serve;
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** Drive one `run` request to its terminal frame; counts results. */
+std::size_t
+drainRun(ServeClient &client, const std::string &request)
+{
+    std::size_t results = 0;
+    json::Value terminal;
+    std::string error;
+    bool ok = client.call(
+        request,
+        [&](const json::Value &event) {
+            if (event.getString("event") == "result")
+                ++results;
+        },
+        terminal, &error);
+    if (!ok)
+        mcd_fatal("serve_bench request failed: %s", error.c_str());
+    if (terminal.getString("event") != "done")
+        mcd_fatal("serve_bench request ended with '%s'",
+                  terminal.getString("event").c_str());
+    return results;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool json = false;
+    int pings = 2000;
+    int cold = 24;
+    int warm = 400;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> int {
+            if (i + 1 >= argc)
+                mcd_fatal("option '%s' needs a value", arg.c_str());
+            int v = std::atoi(argv[++i]);
+            if (v <= 0)
+                mcd_fatal("option '%s' needs a positive count",
+                          arg.c_str());
+            return v;
+        };
+        if (arg == "--json") {
+            json = true;
+        } else if (arg == "--pings") {
+            pings = value();
+        } else if (arg == "--cold") {
+            cold = value();
+        } else if (arg == "--warm") {
+            warm = value();
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: serve_bench [--json] [--pings N] "
+                        "[--cold N] [--warm N]\n");
+            return 0;
+        } else {
+            mcd_fatal("unknown argument '%s' (try --help)",
+                      arg.c_str());
+        }
+    }
+
+    // A private daemon: small methodology so the cold phase measures
+    // request turnaround on short simulations, private cache so the
+    // process-wide one stays untouched.
+    ArtifactCache cache;
+    ServeOptions options;
+    options.socketPath = "/tmp/mcd_serve_bench_" +
+                         std::to_string(::getpid()) + ".sock";
+    options.config.instructions = 20000;
+    options.config.warmup = 5000;
+    options.config.intervalInstructions = 500;
+    options.cache = &cache;
+    Server server(options);
+    std::thread daemon([&server] { server.run(); });
+
+    ServeClient client;
+    std::string error;
+    bool connected = false;
+    for (int i = 0; i < 100 && !connected; ++i) {
+        connected = client.connect(options.socketPath, &error);
+        if (!connected)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+    }
+    if (!connected)
+        mcd_fatal("serve_bench could not connect: %s", error.c_str());
+
+    // ---- ping round-trips: the protocol + dispatch floor.
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < pings; ++i) {
+        json::Value terminal;
+        if (!client.call("{\"op\": \"ping\"}", nullptr, terminal,
+                         &error))
+            mcd_fatal("ping failed: %s", error.c_str());
+    }
+    double ping_seconds = secondsSince(start);
+
+    // ---- cold: every request carries a fresh clock seed, so each one
+    // is a distinct spec and must simulate.
+    start = std::chrono::steady_clock::now();
+    for (int i = 0; i < cold; ++i)
+        drainRun(client,
+                 "{\"op\": \"run\", \"benches\": [\"gsm\"], "
+                 "\"seed\": " + std::to_string(1000 + i) + "}");
+    double cold_seconds = secondsSince(start);
+    std::uint64_t cold_sims = cache.simulationsRun();
+
+    // ---- warm: one spec repeated; after the first resolution every
+    // request is a memory hit rendered and framed fresh.
+    drainRun(client, "{\"op\": \"run\", \"benches\": [\"gsm\"]}");
+    std::uint64_t sims_before_warm = cache.simulationsRun();
+    start = std::chrono::steady_clock::now();
+    for (int i = 0; i < warm; ++i)
+        drainRun(client, "{\"op\": \"run\", \"benches\": [\"gsm\"]}");
+    double warm_seconds = secondsSince(start);
+    if (cache.simulationsRun() != sims_before_warm)
+        mcd_fatal("warm phase simulated (%llu -> %llu): cache broken",
+                  static_cast<unsigned long long>(sims_before_warm),
+                  static_cast<unsigned long long>(
+                      cache.simulationsRun()));
+
+    json::Value terminal;
+    if (!client.call("{\"op\": \"shutdown\"}", nullptr, terminal,
+                     &error))
+        mcd_fatal("shutdown failed: %s", error.c_str());
+    daemon.join();
+
+    double ping_us = ping_seconds * 1e6 / pings;
+    double cold_rps = cold / cold_seconds;
+    double warm_rps = warm / warm_seconds;
+
+    if (json) {
+        std::printf(
+            "{\n"
+            "  \"serve\": {\n"
+            "    \"ping_us\": %.2f,\n"
+            "    \"cold_requests_per_second\": %.2f,\n"
+            "    \"warm_requests_per_second\": %.2f,\n"
+            "    \"warm_over_cold\": %.2f,\n"
+            "    \"pings\": %d,\n"
+            "    \"cold_requests\": %d,\n"
+            "    \"warm_requests\": %d,\n"
+            "    \"cold_simulations\": %llu\n"
+            "  }\n"
+            "}\n",
+            ping_us, cold_rps, warm_rps, warm_rps / cold_rps, pings,
+            cold, warm,
+            static_cast<unsigned long long>(cold_sims));
+    } else {
+        std::printf("%-24s %12s\n", "measurement", "value");
+        std::printf("%-24s %9.2f us\n", "ping round-trip", ping_us);
+        std::printf("%-24s %9.2f /s\n", "cold requests", cold_rps);
+        std::printf("%-24s %9.2f /s\n", "warm requests", warm_rps);
+        std::printf("%-24s %11.1fx\n", "warm over cold",
+                    warm_rps / cold_rps);
+    }
+    return 0;
+}

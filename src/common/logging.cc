@@ -5,6 +5,21 @@
 
 namespace mcd
 {
+
+namespace
+{
+
+// Depth of active FatalErrorScopes on this thread. A scope must be
+// entered on the thread that hits the fatal — the serve layer enters
+// one on each connection and worker thread it owns.
+thread_local int fatal_scope_depth = 0;
+
+} // namespace
+
+FatalErrorScope::FatalErrorScope() { ++fatal_scope_depth; }
+
+FatalErrorScope::~FatalErrorScope() { --fatal_scope_depth; }
+
 namespace logging_detail
 {
 
@@ -37,6 +52,8 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
+    if (fatal_scope_depth > 0)
+        throw FatalError(msg);
     std::fprintf(stderr, "fatal: %s\n  at %s:%d\n", msg.c_str(), file, line);
     std::exit(1);
 }

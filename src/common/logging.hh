@@ -13,10 +13,41 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 
 namespace mcd
 {
+
+/**
+ * What mcd_fatal raises instead of exiting while a FatalErrorScope is
+ * active on the calling thread. Carries the formatted message.
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * RAII guard turning mcd_fatal into a thrown FatalError on this
+ * thread. User errors (bad configuration text, unknown registry
+ * names, out-of-range knobs) exit the process in batch tools — the
+ * right behavior for a CLI — but a long-lived daemon serving many
+ * clients must survive one client's typo. The serve layer wraps
+ * request validation and execution in a scope, catches FatalError,
+ * and turns it into a structured error reply. Scopes nest; mcd_panic
+ * (invariant violations) still aborts regardless.
+ */
+class FatalErrorScope
+{
+  public:
+    FatalErrorScope();
+    ~FatalErrorScope();
+
+    FatalErrorScope(const FatalErrorScope &) = delete;
+    FatalErrorScope &operator=(const FatalErrorScope &) = delete;
+};
 
 namespace logging_detail
 {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "control/basic_controllers.hh"
 #include "harness/parallel_sweep.hh"
@@ -250,6 +251,106 @@ renderTournament(const TournamentResult &result)
     }
 
     return cells.render() + "\n" + league.render();
+}
+
+namespace
+{
+
+std::string
+tournamentCellJson(const TournamentCell &cell)
+{
+    std::string out = "      {";
+    out += "\"scenario\": " + json::str(cell.scenario);
+    out += ", \"controller\": " + json::str(cell.controller);
+    out += ", \"mean_freq_error\": " +
+           json::num(cell.regret.meanFreqError);
+    out += ", \"worst_freq_error\": " +
+           json::num(cell.regret.worstFreqError);
+    out += ", \"edp_gap\": " + json::num(cell.regret.edpGap);
+    out += ", \"energy_gap\": " + json::num(cell.regret.energyGap);
+    out += ", \"time_gap\": " + json::num(cell.regret.timeGap);
+    out += ", \"flips\": " +
+           json::u64(static_cast<std::uint64_t>(cell.regret.flips));
+    out += ", \"flips_tracked\": " +
+           json::u64(static_cast<std::uint64_t>(
+               cell.regret.flipsTracked));
+    out += ", \"mean_reaction_intervals\": " +
+           json::num(cell.regret.meanReactionIntervals);
+    out += ", \"worst_reaction_intervals\": " +
+           json::num(cell.regret.worstReactionIntervals);
+    out += ", \"oracle_margin\": " + json::num(cell.oracle.margin);
+    out += ", \"online_time_ps\": " +
+           json::u64(static_cast<std::uint64_t>(cell.online.time));
+    out += ", \"oracle_time_ps\": " +
+           json::u64(static_cast<std::uint64_t>(cell.oracle.stats.time));
+    out += ", \"online_energy_nj\": " + json::num(cell.online.chipEnergy);
+    out += ", \"oracle_energy_nj\": " +
+           json::num(cell.oracle.stats.chipEnergy);
+    out += "}";
+    return out;
+}
+
+std::string
+tournamentStandingJson(const TournamentStanding &s, int rank)
+{
+    std::string out = "      {";
+    out += "\"rank\": " + std::to_string(rank);
+    out += ", \"controller\": " + json::str(s.controller);
+    out += ", \"cells\": " +
+           json::u64(static_cast<std::uint64_t>(s.cells));
+    out += ", \"mean_freq_error\": " + json::num(s.meanFreqError);
+    out += ", \"worst_freq_error\": " + json::num(s.worstFreqError);
+    out += ", \"mean_edp_gap\": " + json::num(s.meanEdpGap);
+    out += ", \"worst_edp_gap\": " + json::num(s.worstEdpGap);
+    out += ", \"mean_reaction_intervals\": " +
+           json::num(s.meanReactionIntervals);
+    out += ", \"flips\": " +
+           json::u64(static_cast<std::uint64_t>(s.flips));
+    out += ", \"flips_tracked\": " +
+           json::u64(static_cast<std::uint64_t>(s.flipsTracked));
+    out += "}";
+    return out;
+}
+
+} // namespace
+
+std::string
+renderTournamentJson(const TournamentOptions &options,
+                     const TournamentResult &result)
+{
+    std::string out = "{\n  \"tournament\": {\n";
+    out += "    \"target_deg\": " + json::num(options.targetDeg) +
+           ",\n";
+    out += "    \"scenarios\": [";
+    bool first = true;
+    for (const auto &scenario : options.scenarios) {
+        out += first ? "" : ", ";
+        first = false;
+        out += json::str(scenario);
+    }
+    out += "],\n    \"controllers\": [";
+    first = true;
+    for (const auto &entry : options.controllers) {
+        out += first ? "" : ", ";
+        first = false;
+        out += json::str(entry.label);
+    }
+    out += "],\n    \"cells\": [\n";
+    for (std::size_t i = 0; i < result.cells.size(); ++i) {
+        out += tournamentCellJson(result.cells[i]);
+        out += i + 1 < result.cells.size() ? ",\n" : "\n";
+    }
+    out += "    ],\n    \"standings\": [\n";
+    for (std::size_t i = 0; i < result.standings.size(); ++i) {
+        out += tournamentStandingJson(result.standings[i],
+                                      static_cast<int>(i) + 1);
+        out += i + 1 < result.standings.size() ? ",\n" : "\n";
+    }
+    // No cache counters: tournament stdout stays byte-identical
+    // between cold, warm, fleet, and served runs (CI diffs it); the
+    // counters travel separately (stderr / the daemon's stats reply).
+    out += "    ]\n  }\n}\n";
+    return out;
 }
 
 } // namespace mcd

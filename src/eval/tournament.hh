@@ -121,6 +121,16 @@ TournamentResult runTournament(const TournamentOptions &options);
  *  non-JSON output; byte-stable across runs and process counts). */
 std::string renderTournament(const TournamentResult &result);
 
+/**
+ * Render the full `{"tournament": ...}` JSON document — the single
+ * renderer behind `mcd_cli tournament --json` and the serve daemon's
+ * `tournament` verb, so a served tournament reply is byte-identical
+ * to the direct CLI's stdout. Deliberately carries no cache counters:
+ * the document stays byte-stable between cold, warm, and fleet runs.
+ */
+std::string renderTournamentJson(const TournamentOptions &options,
+                                 const TournamentResult &result);
+
 } // namespace mcd
 
 #endif // MCD_EVAL_TOURNAMENT_HH

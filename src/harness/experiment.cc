@@ -238,7 +238,9 @@ ArtifactCache::fetch(
     // distinct artifacts still fan out in parallel, and nested
     // requests (a search's probes, always for *other* keys) recurse
     // freely.
+    bool resolved_here = false;
     std::call_once(flight->once, [&] {
+        resolved_here = true;
         std::string blob;
         if (memory_.get(key, blob) && validate(blob))
             return; // published earlier as another artifact's by-product
@@ -266,6 +268,13 @@ ArtifactCache::fetch(
     // makes a new slot whose call_once body hits the memory layer.
     {
         std::lock_guard<std::mutex> lock(mutex_);
+        // A caller whose call_once body did not run waited on another
+        // caller's concurrent resolution of this key: an in-flight
+        // join, the cross-client dedup event the serve layer reports.
+        // (Post-resolution requests get a fresh slot and resolve it
+        // themselves against the memory layer, so they never count.)
+        if (!resolved_here)
+            ++inflight_joins_;
         auto it = inflight_.find(key);
         if (it != inflight_.end() && it->second == flight)
             inflight_.erase(it);
@@ -425,6 +434,27 @@ ArtifactCache::diskHits() const
 }
 
 std::uint64_t
+ArtifactCache::inflightJoins() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inflight_joins_;
+}
+
+bool
+ArtifactCache::cachedHint(const std::string &key)
+{
+    std::string blob;
+    if (memory_.get(key, blob))
+        return true;
+    std::shared_ptr<DiskStore> disk;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        disk = disk_;
+    }
+    return disk && disk->get(key, blob);
+}
+
+std::uint64_t
 ArtifactCache::simulationsRun() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -475,6 +505,7 @@ ArtifactCache::clear()
     computes_ = 0;
     disk_hits_ = 0;
     sims_ = 0;
+    inflight_joins_ = 0;
 }
 
 } // namespace mcd

@@ -249,6 +249,24 @@ class ArtifactCache
     /** Hits served by the disk layer (validated, then promoted). */
     std::uint64_t diskHits() const;
 
+    /**
+     * Lookups that joined another caller's in-flight fetch of the same
+     * key instead of resolving it themselves — the cross-client dedup
+     * counter: two concurrent requests for one uncached spec are one
+     * compute and one join. Requests arriving after resolution are
+     * plain memory hits, not joins.
+     */
+    std::uint64_t inflightJoins() const;
+
+    /**
+     * Whether `key` is already resident — in the memory layer, or
+     * present (unvalidated) in the attached disk layer. A reporting
+     * hint (the serve layer's cold/warm request classification), not a
+     * correctness primitive: a `true` may still fail validation and
+     * recompute, and the answer can be stale by the time it returns.
+     */
+    bool cachedHint(const std::string &key);
+
     /** Actual simulations executed — the run counter. */
     std::uint64_t simulationsRun() const;
 
@@ -316,6 +334,7 @@ class ArtifactCache
     std::uint64_t computes_ = 0;
     std::uint64_t disk_hits_ = 0;
     std::uint64_t sims_ = 0;
+    std::uint64_t inflight_joins_ = 0;
 };
 
 } // namespace mcd

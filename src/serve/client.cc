@@ -1,0 +1,114 @@
+#include "serve/client.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace mcd::serve
+{
+
+ServeClient::~ServeClient()
+{
+    close();
+}
+
+void
+ServeClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+ServeClient::connect(const std::string &socket_path, std::string *error)
+{
+    close();
+    sockaddr_un addr{};
+    if (socket_path.empty() ||
+        socket_path.size() >= sizeof(addr.sun_path)) {
+        if (error)
+            *error = "bad socket path '" + socket_path + "'";
+        return false;
+    }
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) {
+        if (error)
+            *error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        if (error)
+            *error = "connect(" + socket_path + "): " +
+                     std::strerror(errno);
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+ServeClient::send(const std::string &payload, std::string *error)
+{
+    if (fd_ < 0 || !writeFrame(fd_, payload)) {
+        if (error)
+            *error = fd_ < 0 ? "not connected"
+                             : "send failed (daemon gone?)";
+        return false;
+    }
+    return true;
+}
+
+FrameStatus
+ServeClient::recv(std::string &payload)
+{
+    if (fd_ < 0)
+        return FrameStatus::IoError;
+    return readFrame(fd_, payload);
+}
+
+bool
+ServeClient::call(const std::string &request,
+                  const std::function<void(const json::Value &)> &on_event,
+                  json::Value &terminal, std::string *error)
+{
+    if (!send(request, error))
+        return false;
+    while (true) {
+        std::string payload;
+        FrameStatus status = recv(payload);
+        if (status != FrameStatus::Ok) {
+            if (error)
+                *error = std::string("connection ") +
+                         frameStatusName(status) +
+                         " before a terminal reply";
+            return false;
+        }
+        json::Value event;
+        std::string parse_error;
+        if (!json::parse(payload, event, &parse_error) ||
+            !event.isObject()) {
+            if (error)
+                *error = "unparseable reply: " + parse_error;
+            return false;
+        }
+        if (on_event)
+            on_event(event);
+        std::string kind = event.getString("event");
+        if (kind != "result") {
+            terminal = std::move(event);
+            return true;
+        }
+    }
+}
+
+} // namespace mcd::serve

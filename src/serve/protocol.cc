@@ -1,0 +1,198 @@
+#include "serve/protocol.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace mcd::serve
+{
+
+namespace
+{
+
+/** Read exactly `length` bytes (EINTR-safe). False on EOF/error;
+ *  `got` reports how much arrived either way. */
+bool
+readAll(int fd, void *buffer, std::size_t length, bool &saw_eof,
+        std::size_t &got)
+{
+    char *out = static_cast<char *>(buffer);
+    got = 0;
+    saw_eof = false;
+    while (got < length) {
+        ssize_t n = ::read(fd, out + got, length - got);
+        if (n > 0) {
+            got += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n == 0) {
+            saw_eof = true;
+            return false;
+        }
+        if (errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+const char *
+frameStatusName(FrameStatus status)
+{
+    switch (status) {
+      case FrameStatus::Ok: return "ok";
+      case FrameStatus::Eof: return "eof";
+      case FrameStatus::Truncated: return "truncated";
+      case FrameStatus::TooLarge: return "too-large";
+      case FrameStatus::IoError: return "io-error";
+    }
+    return "unknown";
+}
+
+FrameStatus
+readFrame(int fd, std::string &payload, std::uint32_t max_bytes)
+{
+    unsigned char header[4];
+    bool eof = false;
+    std::size_t got = 0;
+    if (!readAll(fd, header, sizeof(header), eof, got)) {
+        if (!eof)
+            return FrameStatus::IoError;
+        // EOF is only clean at a frame boundary; a partial header
+        // means the peer died mid-frame.
+        return got == 0 ? FrameStatus::Eof : FrameStatus::Truncated;
+    }
+    std::uint32_t length = (static_cast<std::uint32_t>(header[0]) << 24)
+                         | (static_cast<std::uint32_t>(header[1]) << 16)
+                         | (static_cast<std::uint32_t>(header[2]) << 8)
+                         | static_cast<std::uint32_t>(header[3]);
+    if (length > max_bytes)
+        return FrameStatus::TooLarge;
+    payload.resize(length);
+    if (length > 0 && !readAll(fd, payload.data(), length, eof, got))
+        return eof ? FrameStatus::Truncated : FrameStatus::IoError;
+    return FrameStatus::Ok;
+}
+
+bool
+writeFrame(int fd, const std::string &payload)
+{
+    if (payload.size() > kMaxFrameBytes)
+        mcd_panic("outgoing frame of %zu bytes exceeds the declared "
+                  "%u-byte protocol limit",
+                  payload.size(), kMaxFrameBytes);
+    std::uint32_t length = static_cast<std::uint32_t>(payload.size());
+    unsigned char header[4] = {
+        static_cast<unsigned char>(length >> 24),
+        static_cast<unsigned char>(length >> 16),
+        static_cast<unsigned char>(length >> 8),
+        static_cast<unsigned char>(length),
+    };
+    std::string frame(reinterpret_cast<char *>(header), sizeof(header));
+    frame += payload;
+    std::size_t done = 0;
+    while (done < frame.size()) {
+        // MSG_NOSIGNAL: a client that disconnected mid-stream costs an
+        // EPIPE return, never a SIGPIPE that would kill the daemon.
+        ssize_t n = ::send(fd, frame.data() + done, frame.size() - done,
+                           MSG_NOSIGNAL);
+        if (n > 0) {
+            done += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+std::string
+experimentResultJson(const ExperimentSpec &spec, const SimStats &stats)
+{
+    char hash[32];
+    std::snprintf(hash, sizeof(hash), "%016llx",
+                  static_cast<unsigned long long>(spec.hash()));
+
+    std::string params = "{";
+    bool first = true;
+    for (const auto &[key, value] : spec.controller.params) {
+        params += first ? "" : ", ";
+        first = false;
+        params += json::str(key) + ": " + json::num(value);
+    }
+    params += "}";
+
+    std::string out = "    {\n";
+    out += "      \"benchmark\": " + json::str(spec.benchmark) + ",\n";
+    out += "      \"mode\": " +
+           json::str(spec.mode == ClockMode::Mcd ? "mcd" : "sync") +
+           ",\n";
+    out += "      \"controller\": " + json::str(spec.controller.name) +
+           ",\n";
+    out += "      \"params\": " + params + ",\n";
+    out += "      \"start_freq_hz\": " +
+           json::num(spec.resolvedStartFreq()) + ",\n";
+    out += "      \"instructions\": " +
+           json::u64(spec.config.instructions) + ",\n";
+    out += "      \"warmup\": " + json::u64(spec.config.warmup) + ",\n";
+    out += "      \"interval\": " +
+           std::to_string(spec.config.intervalInstructions) + ",\n";
+    out += "      \"clock_seed\": " + json::u64(spec.config.clockSeed) +
+           ",\n";
+    out += "      \"spec_hash\": " + json::str(hash) + ",\n";
+    out += "      \"stats\": {\n";
+    out += "        \"instructions\": " + json::u64(stats.instructions) +
+           ",\n";
+    out += "        \"fe_cycles\": " + json::u64(stats.feCycles) + ",\n";
+    out += "        \"time_ps\": " +
+           json::u64(static_cast<std::uint64_t>(stats.time)) + ",\n";
+    out += "        \"chip_energy_nj\": " + json::num(stats.chipEnergy) +
+           ",\n";
+    out += "        \"cpi\": " + json::num(stats.cpi) + ",\n";
+    out += "        \"epi_nj\": " + json::num(stats.epi) + ",\n";
+    out += "        \"branches\": " + json::u64(stats.branches) + ",\n";
+    out += "        \"mispredicts\": " + json::u64(stats.mispredicts) +
+           ",\n";
+    out += "        \"loads\": " + json::u64(stats.loads) + ",\n";
+    out += "        \"stores\": " + json::u64(stats.stores) + ",\n";
+    out += "        \"l1d_misses\": " + json::u64(stats.l1dMisses) +
+           ",\n";
+    out += "        \"l2_misses\": " + json::u64(stats.l2Misses) + "\n";
+    out += "      }\n    }";
+    return out;
+}
+
+std::string
+cacheStatsJson(const ArtifactCache &cache)
+{
+    std::string out = "{";
+    out += "\"lookups\": " + json::u64(cache.lookups());
+    out += ", \"hits\": " + json::u64(cache.hits());
+    out += ", \"disk_hits\": " + json::u64(cache.diskHits());
+    out += ", \"simulations\": " + json::u64(cache.simulationsRun());
+    out += ", \"inflight_joins\": " + json::u64(cache.inflightJoins());
+    out += ", \"memory_entries\": " +
+           json::u64(static_cast<std::uint64_t>(cache.size()));
+    std::string root = cache.storeRoot();
+    if (root.empty()) {
+        out += ", \"store_root\": null";
+    } else {
+        out += ", \"store_root\": " + json::str(root);
+        out += ", \"disk_entries\": " +
+               json::u64(static_cast<std::uint64_t>(
+                   cache.diskEntries()));
+        out += ", \"disk_bytes\": " + json::u64(cache.diskBytes());
+    }
+    out += "}";
+    return out;
+}
+
+} // namespace mcd::serve

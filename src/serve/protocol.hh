@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The wire protocol of the simulation-as-a-service daemon (`mcd_cli
+ * serve`): length-framed JSON over a Unix-domain stream socket.
+ *
+ * Framing: every message is a 4-byte big-endian payload length
+ * followed by that many bytes of UTF-8 JSON. A declared frame limit
+ * (`kMaxFrameBytes`) bounds what either side will buffer; a peer
+ * announcing a larger frame is rejected with a structured error and
+ * the connection is closed (the stream cannot be trusted to resync).
+ * Malformed JSON *inside* an intact frame costs only an error reply —
+ * the framing survives, and the connection stays usable.
+ *
+ * Requests (client -> server), one JSON object per frame, selected by
+ * `"op"`:
+ *   {"op":"ping"}
+ *   {"op":"cache-stats"}
+ *   {"op":"shutdown"}
+ *   {"op":"run","benches":["gsm",...],
+ *    "controller":"attack_decay:decay=0.0125",   // optional
+ *    "mode":"mcd"|"sync", "freq":H, "seed":S,    // optional
+ *    "instructions":N, "warmup":N, "interval":N} // optional overrides
+ *   {"op":"tournament","scenarios":[...],"controllers":[...],
+ *    "target_deg":0.05}                           // all optional
+ *
+ * Replies (server -> client), one JSON object per frame, selected by
+ * `"event"`; `run` streams one `result` frame per experiment as it
+ * completes (tagged with its submission `index`) and finishes with
+ * `done`:
+ *   {"event":"pong","protocol":1}
+ *   {"event":"stats","cache":{...},"serve":{...}}
+ *   {"event":"result","index":I,"benchmark":"...","cold":B,
+ *    "payload":"<rendered JSON document, as a string>"}
+ *   {"event":"done","results":N,"cold_units":C,"warm_units":W}
+ *   {"event":"error","code":"overloaded"|"bad-request"|"too-large"|
+ *    "internal","error":"..."}
+ *   {"event":"shutdown"}
+ *
+ * A `result` payload is carried as a *string* holding the rendered
+ * JSON document — `experimentResultJson()` below, the exact renderer
+ * `mcd_cli run --json` uses — so clients can reproduce the direct
+ * CLI's bytes verbatim without re-serializing (the byte-identity
+ * guarantee CI asserts).
+ */
+
+#ifndef MCD_SERVE_PROTOCOL_HH
+#define MCD_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "harness/experiment.hh"
+
+namespace mcd::serve
+{
+
+/** Protocol revision announced by `pong`. */
+constexpr std::uint32_t kProtocolVersion = 1;
+
+/** Largest frame either side will accept (header-declared length). */
+constexpr std::uint32_t kMaxFrameBytes = 8u << 20;
+
+/** Outcome of one readFrame call. */
+enum class FrameStatus
+{
+    Ok,        //!< a complete frame was read
+    Eof,       //!< clean end of stream at a frame boundary
+    Truncated, //!< stream ended inside a header or payload
+    TooLarge,  //!< declared length exceeds the limit (nothing read)
+    IoError    //!< read(2) failed
+};
+
+/** Human-readable name of a FrameStatus (errors, tests). */
+const char *frameStatusName(FrameStatus status);
+
+/**
+ * Read one complete frame from `fd` into `payload`. Blocks until the
+ * frame, EOF, or an error. On `TooLarge` the header has been consumed
+ * but the payload has not — the caller must treat the stream as
+ * unsynchronized and close it.
+ */
+FrameStatus readFrame(int fd, std::string &payload,
+                      std::uint32_t max_bytes = kMaxFrameBytes);
+
+/**
+ * Write `payload` as one frame to `fd`. Returns false on any write
+ * failure (including EPIPE from a disconnected peer — writes use
+ * MSG_NOSIGNAL, so a dead client never signals the daemon). Fatal if
+ * `payload` exceeds `kMaxFrameBytes` (a server bug, not peer input).
+ */
+bool writeFrame(int fd, const std::string &payload);
+
+/**
+ * One experiment result as a pretty-printed JSON object — the single
+ * renderer behind `mcd_cli run --json`'s per-experiment entries and
+ * the daemon's `result` payloads, so a served reply is byte-identical
+ * to the direct CLI's output for the same spec.
+ */
+std::string experimentResultJson(const ExperimentSpec &spec,
+                                 const SimStats &stats);
+
+/**
+ * The cache-counter object shared by `mcd_cli run --json`, `mcd_cli
+ * cache --json`, and the daemon's `stats` reply:
+ * `{"lookups": ..., "hits": ..., ...}`.
+ */
+std::string cacheStatsJson(const ArtifactCache &cache);
+
+} // namespace mcd::serve
+
+#endif // MCD_SERVE_PROTOCOL_HH

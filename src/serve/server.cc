@@ -1,0 +1,679 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "eval/tournament.hh"
+#include "harness/parallel_sweep.hh"
+#include "serve/protocol.hh"
+#include "workload/scenario_registry.hh"
+
+namespace mcd::serve
+{
+
+namespace
+{
+
+/** One "event":"error" reply payload. */
+std::string
+errorJson(const std::string &code, const std::string &message)
+{
+    return "{\"event\": \"error\", \"code\": " + json::str(code) +
+           ", \"error\": " + json::str(message) + "}";
+}
+
+/**
+ * Probe whether a daemon is actually listening on `path`. A leftover
+ * socket file from a crashed daemon refuses connections; a live one
+ * accepts. Distinguishing the two lets restart-after-crash work
+ * without ever stealing a running daemon's socket.
+ */
+bool
+socketIsLive(const std::string &path)
+{
+    int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        return false;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    bool live = ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                          sizeof(addr)) == 0;
+    ::close(fd);
+    return live;
+}
+
+} // namespace
+
+Server::Connection::~Connection()
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+Server::Server(ServeOptions options) : options_(std::move(options))
+{
+    if (options_.socketPath.empty())
+        mcd_fatal("serve needs a socket path (--socket)");
+
+    sockaddr_un addr{};
+    if (options_.socketPath.size() >= sizeof(addr.sun_path))
+        mcd_fatal("socket path '%s' exceeds the %zu-byte AF_UNIX "
+                  "limit", options_.socketPath.c_str(),
+                  sizeof(addr.sun_path) - 1);
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, options_.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listenFd_ < 0)
+        mcd_fatal("socket(AF_UNIX): %s", std::strerror(errno));
+
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        if (errno != EADDRINUSE)
+            mcd_fatal("bind(%s): %s", options_.socketPath.c_str(),
+                      std::strerror(errno));
+        if (socketIsLive(options_.socketPath))
+            mcd_fatal("another daemon is already serving on '%s'",
+                      options_.socketPath.c_str());
+        // A stale file from a crashed daemon: reclaim it.
+        ::unlink(options_.socketPath.c_str());
+        if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0)
+            mcd_fatal("bind(%s): %s", options_.socketPath.c_str(),
+                      std::strerror(errno));
+    }
+    if (::listen(listenFd_, 64) != 0)
+        mcd_fatal("listen(%s): %s", options_.socketPath.c_str(),
+                  std::strerror(errno));
+
+    if (::pipe2(stopPipe_, O_CLOEXEC) != 0)
+        mcd_fatal("pipe2: %s", std::strerror(errno));
+
+    int workers = options_.workers > 0
+                      ? options_.workers
+                      : ParallelSweep::defaultWorkers();
+    pool_ = std::make_unique<ThreadPool>(workers);
+    if (options_.maxInflight < 0)
+        options_.maxInflight = 4 * pool_->workerCount();
+
+    if (!options_.config.store.empty())
+        cache().attachDiskStore(options_.config.store);
+}
+
+Server::~Server()
+{
+    if (stopPipe_[0] >= 0)
+        ::close(stopPipe_[0]);
+    if (stopPipe_[1] >= 0)
+        ::close(stopPipe_[1]);
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        ::unlink(options_.socketPath.c_str());
+    }
+}
+
+ArtifactCache &
+Server::cache() const
+{
+    return options_.cache ? *options_.cache
+                          : ArtifactCache::instance();
+}
+
+ServeStats
+Server::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+Server::requestStop()
+{
+    // Only async-signal-safe operations: SIGINT/SIGTERM handlers call
+    // this directly.
+    stopping_.store(true);
+    char byte = 1;
+    [[maybe_unused]] ssize_t n = ::write(stopPipe_[1], &byte, 1);
+}
+
+void
+Server::run()
+{
+    mcd_inform("serving on %s (%d workers, max %d units in flight%s%s)",
+               options_.socketPath.c_str(), pool_->workerCount(),
+               options_.maxInflight,
+               options_.config.store.empty() ? "" : ", store ",
+               options_.config.store.c_str());
+
+    while (!stopping_.load()) {
+        pollfd fds[2] = {{listenFd_, POLLIN, 0},
+                         {stopPipe_[0], POLLIN, 0}};
+        int ready = ::poll(fds, 2, -1);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            mcd_warn("poll: %s", std::strerror(errno));
+            break;
+        }
+        if (fds[1].revents & POLLIN)
+            break;
+        if (!(fds[0].revents & POLLIN))
+            continue;
+        int fd = ::accept4(listenFd_, nullptr, nullptr, SOCK_CLOEXEC);
+        if (fd < 0) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            mcd_warn("accept: %s", std::strerror(errno));
+            continue;
+        }
+        auto conn = std::make_shared<Connection>();
+        conn->fd = fd;
+        std::lock_guard<std::mutex> lock(mutex_);
+        connections_.push_back(conn);
+        threads_.emplace_back(
+            [this, conn] { serveConnection(conn); });
+    }
+
+    // Drain: stop accepting, wake every blocked reader (SHUT_RD lets
+    // pending result streams finish writing), join, then let the pool
+    // finish whatever was admitted.
+    ::close(listenFd_);
+    listenFd_ = -1;
+    std::vector<std::shared_ptr<Connection>> conns;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        conns = connections_;
+    }
+    for (const auto &conn : conns)
+        ::shutdown(conn->fd, SHUT_RD);
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        threads.swap(threads_);
+    }
+    for (auto &thread : threads)
+        thread.join();
+    pool_->wait();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        connections_.clear();
+    }
+    ::unlink(options_.socketPath.c_str());
+    mcd_inform("serve: drained, socket removed");
+}
+
+void
+Server::reply(const std::shared_ptr<Connection> &conn,
+              const std::string &payload)
+{
+    std::lock_guard<std::mutex> lock(conn->writeMutex);
+    if (!conn->alive.load())
+        return;
+    if (!writeFrame(conn->fd, payload))
+        conn->alive.store(false); // client went away; keep serving
+}
+
+void
+Server::replyError(const std::shared_ptr<Connection> &conn,
+                   const std::string &code, const std::string &message)
+{
+    reply(conn, errorJson(code, message));
+}
+
+void
+Server::serveConnection(const std::shared_ptr<Connection> &conn)
+{
+    // Fatal-as-throw on this thread: a client's bad input costs it an
+    // error reply, never the daemon.
+    FatalErrorScope scope;
+
+    bool keep = true;
+    while (keep) {
+        std::string payload;
+        FrameStatus status = readFrame(conn->fd, payload);
+        if (status == FrameStatus::TooLarge) {
+            // The unread payload leaves the stream unsynchronized;
+            // reject and hang up.
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++stats_.badRequests;
+            }
+            replyError(conn, "too-large",
+                       "frame exceeds the " +
+                           std::to_string(kMaxFrameBytes) +
+                           "-byte protocol limit");
+            break;
+        }
+        if (status != FrameStatus::Ok) {
+            if (status == FrameStatus::Truncated)
+                mcd_warn("serve: connection dropped mid-frame");
+            break; // Eof / IoError: the peer is gone
+        }
+
+        json::Value request;
+        std::string parse_error;
+        if (!json::parse(payload, request, &parse_error) ||
+            !request.isObject()) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++stats_.badRequests;
+            }
+            // An intact frame with bad JSON is the client's bug, not
+            // a framing failure: reply and keep the connection.
+            replyError(conn, "bad-request",
+                       parse_error.empty() ? "request is not a JSON "
+                                             "object"
+                                           : parse_error);
+            continue;
+        }
+
+        try {
+            keep = handleRequest(conn, request);
+        } catch (const FatalError &e) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++stats_.badRequests;
+            }
+            replyError(conn, "bad-request", e.what());
+        } catch (const std::exception &e) {
+            replyError(conn, "internal", e.what());
+        }
+    }
+
+    conn->alive.store(false);
+    std::lock_guard<std::mutex> lock(mutex_);
+    connections_.erase(std::remove(connections_.begin(),
+                                   connections_.end(), conn),
+                       connections_.end());
+    // The fd closes when the last holder (possibly a worker still
+    // finishing this client's unit) drops its reference.
+}
+
+bool
+Server::handleRequest(const std::shared_ptr<Connection> &conn,
+                      const json::Value &request)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.requests;
+    }
+
+    std::string op = request.getString("op");
+    if (op == "ping") {
+        reply(conn, "{\"event\": \"pong\", \"protocol\": " +
+                        json::u64(kProtocolVersion) + "}");
+        return true;
+    }
+    if (op == "cache-stats") {
+        ServeStats s = stats();
+        std::string serve = "{";
+        serve += "\"requests\": " + json::u64(s.requests);
+        serve += ", \"run_requests\": " + json::u64(s.runRequests);
+        serve += ", \"units_executed\": " + json::u64(s.unitsExecuted);
+        serve += ", \"cold_units\": " + json::u64(s.coldUnits);
+        serve += ", \"warm_units\": " + json::u64(s.warmUnits);
+        serve += ", \"rejected\": " + json::u64(s.rejected);
+        serve += ", \"bad_requests\": " + json::u64(s.badRequests);
+        serve += ", \"inflight_dedups\": " +
+                 json::u64(cache().inflightJoins());
+        serve += ", \"inflight_units\": " +
+                 json::u64(static_cast<std::uint64_t>(
+                     std::max(0, inflightUnits_.load())));
+        serve += ", \"workers\": " +
+                 json::u64(static_cast<std::uint64_t>(
+                     pool_->workerCount()));
+        serve += ", \"max_inflight\": " +
+                 json::u64(static_cast<std::uint64_t>(
+                     options_.maxInflight));
+        serve += "}";
+        reply(conn, "{\"event\": \"stats\", \"cache\": " +
+                        cacheStatsJson(cache()) +
+                        ", \"serve\": " + serve + "}");
+        return true;
+    }
+    if (op == "shutdown") {
+        reply(conn, "{\"event\": \"shutdown\"}");
+        requestStop();
+        return false;
+    }
+    if (op == "run")
+        return handleRun(conn, request);
+    if (op == "tournament")
+        return handleTournament(conn, request);
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.badRequests;
+    }
+    replyError(conn, "bad-request", "unknown op '" + op + "'");
+    return true;
+}
+
+bool
+Server::handleRun(const std::shared_ptr<Connection> &conn,
+                  const json::Value &request)
+{
+    // ---- validate everything before admitting anything. Registry
+    // lookups that are fatal on bad input run here, on the scoped
+    // connection thread, where fatal throws (caught by our caller into
+    // a bad-request reply) — never on a pool worker mid-stream.
+    const json::Value *benches = request.get("benches");
+    if (!benches || !benches->isArray() || benches->array.empty()) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.badRequests;
+        replyError(conn, "bad-request",
+                   "run needs a non-empty \"benches\" array");
+        return true;
+    }
+
+    RunnerConfig config = options_.config;
+    config.instructions =
+        request.getU64("instructions", config.instructions);
+    config.warmup = request.getU64("warmup", config.warmup);
+    config.intervalInstructions = static_cast<int>(request.getU64(
+        "interval",
+        static_cast<std::uint64_t>(config.intervalInstructions)));
+    config.clockSeed = request.getU64("seed", config.clockSeed);
+    if (config.instructions == 0 || config.intervalInstructions <= 0) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.badRequests;
+        replyError(conn, "bad-request",
+                   "\"instructions\" and \"interval\" must be "
+                   "positive");
+        return true;
+    }
+
+    ClockMode mode = ClockMode::Mcd;
+    std::string mode_text = request.getString("mode", "mcd");
+    if (mode_text == "sync")
+        mode = ClockMode::Synchronous;
+    else if (mode_text != "mcd") {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.badRequests;
+        replyError(conn, "bad-request",
+                   "\"mode\" must be \"mcd\" or \"sync\", not \"" +
+                       mode_text + "\"");
+        return true;
+    }
+
+    Hertz freq = request.getNumber("freq", 0.0);
+    if (freq < 0.0) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.badRequests;
+        replyError(conn, "bad-request",
+                   "\"freq\" must be non-negative");
+        return true;
+    }
+
+    // parseControllerSpec and create() are fatal on malformed text /
+    // unknown names / bad params; under the connection thread's scope
+    // that surfaces as a bad-request reply.
+    ControllerSpec controller;
+    std::string controller_text = request.getString("controller");
+    if (!controller_text.empty())
+        controller = parseControllerSpec(controller_text);
+    ControllerRegistry::instance().create(controller);
+
+    std::vector<ExperimentSpec> specs;
+    for (const json::Value &entry : benches->array) {
+        if (!entry.isString()) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.badRequests;
+            replyError(conn, "bad-request",
+                       "\"benches\" entries must be scenario names");
+            return true;
+        }
+        if (!ScenarioRegistry::instance().contains(entry.string)) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.badRequests;
+            replyError(conn, "bad-request",
+                       "unknown scenario '" + entry.string + "'");
+            return true;
+        }
+        // Family instances parse their knobs here — eagerly, so a bad
+        // knob is a bad-request now rather than a fatal inside a
+        // worker (or a nested sweep thread) later.
+        ScenarioRegistry::instance().spec(entry.string);
+
+        ExperimentSpec spec;
+        spec.benchmark = entry.string;
+        spec.mode = mode;
+        spec.startFreq = freq;
+        spec.controller = controller;
+        spec.config = config;
+        specs.push_back(std::move(spec));
+    }
+
+    // ---- admission: all-or-nothing against the in-flight bound, so
+    // a rejected run never interleaves an `overloaded` error into a
+    // partially admitted result stream.
+    int units = static_cast<int>(specs.size());
+    int current = inflightUnits_.load();
+    do {
+        if (current + units > options_.maxInflight) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++stats_.rejected;
+            }
+            replyError(conn, "overloaded",
+                       std::to_string(units) + " units would exceed "
+                       "the in-flight bound of " +
+                       std::to_string(options_.maxInflight) +
+                       " (retry later, or raise --max-inflight)");
+            return true;
+        }
+    } while (!inflightUnits_.compare_exchange_weak(current,
+                                                   current + units));
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.runRequests;
+    }
+
+    struct RunState
+    {
+        std::mutex m;
+        std::condition_variable cv;
+        std::size_t done = 0;
+        std::size_t ok = 0;
+        std::uint64_t cold = 0;
+        std::uint64_t warm = 0;
+    };
+    auto state = std::make_shared<RunState>();
+    std::size_t total = specs.size();
+
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        pool_->submit([this, conn, state, spec = specs[i], i] {
+            FatalErrorScope worker_scope;
+            bool cold = !cache().cachedHint(spec.cacheKey());
+            bool ok = false;
+            std::string out;
+            try {
+                SimStats stats = cache().getOrRun(spec);
+                out = "{\"event\": \"result\", \"index\": " +
+                      json::u64(i) + ", \"benchmark\": " +
+                      json::str(spec.benchmark) + ", \"cold\": " +
+                      (cold ? "true" : "false") + ", \"payload\": " +
+                      json::str(experimentResultJson(spec, stats)) +
+                      "}";
+                ok = true;
+            } catch (const std::exception &e) {
+                out = errorJson("internal", spec.benchmark +
+                                                ": " + e.what());
+            }
+            reply(conn, out);
+            inflightUnits_.fetch_sub(1);
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++stats_.unitsExecuted;
+                if (cold)
+                    ++stats_.coldUnits;
+                else
+                    ++stats_.warmUnits;
+            }
+            std::lock_guard<std::mutex> lock(state->m);
+            ++state->done;
+            if (ok)
+                ++state->ok;
+            if (cold)
+                ++state->cold;
+            else
+                ++state->warm;
+            state->cv.notify_all();
+        });
+    }
+
+    // The reader blocks here (not in the pool — no starvation) until
+    // every unit has streamed, then seals the stream with `done`.
+    std::unique_lock<std::mutex> lock(state->m);
+    state->cv.wait(lock, [&] { return state->done == total; });
+    reply(conn, "{\"event\": \"done\", \"results\": " +
+                    json::u64(state->ok) + ", \"cold_units\": " +
+                    json::u64(state->cold) + ", \"warm_units\": " +
+                    json::u64(state->warm) + "}");
+    return true;
+}
+
+bool
+Server::handleTournament(const std::shared_ptr<Connection> &conn,
+                         const json::Value &request)
+{
+    TournamentOptions opts;
+    opts.config = options_.config;
+    opts.targetDeg = request.getNumber("target_deg", 0.05);
+    if (opts.targetDeg < 0.0 || opts.targetDeg > 1.0) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.badRequests;
+        replyError(conn, "bad-request",
+                   "\"target_deg\" must be a fraction in [0, 1]");
+        return true;
+    }
+
+    const json::Value *scenarios = request.get("scenarios");
+    if (scenarios) {
+        if (!scenarios->isArray()) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.badRequests;
+            replyError(conn, "bad-request",
+                       "\"scenarios\" must be an array of names");
+            return true;
+        }
+        for (const json::Value &entry : scenarios->array) {
+            if (!entry.isString() ||
+                !ScenarioRegistry::instance().contains(entry.string)) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++stats_.badRequests;
+                replyError(conn, "bad-request",
+                           "unknown scenario in \"scenarios\"");
+                return true;
+            }
+            ScenarioRegistry::instance().spec(entry.string); // knobs
+            opts.scenarios.push_back(entry.string);
+        }
+    }
+    if (opts.scenarios.empty())
+        opts.scenarios = adversarialCorpus();
+
+    const json::Value *controllers = request.get("controllers");
+    if (controllers) {
+        if (!controllers->isArray()) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.badRequests;
+            replyError(conn, "bad-request",
+                       "\"controllers\" must be an array of specs");
+            return true;
+        }
+        for (const json::Value &entry : controllers->array) {
+            if (!entry.isString()) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++stats_.badRequests;
+                replyError(conn, "bad-request",
+                           "\"controllers\" entries must be "
+                           "controller spec strings");
+                return true;
+            }
+            TournamentEntry te;
+            te.label = entry.string;
+            te.spec = parseControllerSpec(entry.string); // may throw
+            ControllerRegistry::instance().create(te.spec); // params
+            opts.controllers.push_back(std::move(te));
+        }
+    }
+    if (opts.controllers.empty())
+        opts.controllers = defaultTournamentEntries();
+
+    int units = static_cast<int>(opts.scenarios.size() *
+                                 opts.controllers.size());
+    int current = inflightUnits_.load();
+    do {
+        if (current + units > options_.maxInflight) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++stats_.rejected;
+            }
+            replyError(conn, "overloaded",
+                       std::to_string(units) + " tournament cells "
+                       "would exceed the in-flight bound of " +
+                       std::to_string(options_.maxInflight));
+            return true;
+        }
+    } while (!inflightUnits_.compare_exchange_weak(current,
+                                                   current + units));
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.runRequests;
+    }
+
+    // The tournament runs on this connection thread: it is a batch
+    // product with its own internal parallelism (nested sweeps via
+    // config.jobs), not a streamable unit list. Its eval machinery
+    // resolves through ArtifactCache::instance() regardless of any
+    // injected cache, so cold/warm classification reads that.
+    std::string out;
+    try {
+        ArtifactCache &global = ArtifactCache::instance();
+        std::uint64_t sims_before = global.simulationsRun();
+        TournamentResult result = runTournament(opts);
+        bool cold = global.simulationsRun() > sims_before;
+        out = "{\"event\": \"result\", \"index\": 0, \"benchmark\": "
+              "\"tournament\", \"cold\": " +
+              std::string(cold ? "true" : "false") +
+              ", \"payload\": " +
+              json::str(renderTournamentJson(opts, result)) + "}";
+        reply(conn, out);
+        inflightUnits_.fetch_sub(units);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stats_.unitsExecuted +=
+                static_cast<std::uint64_t>(units);
+            if (cold)
+                ++stats_.coldUnits;
+            else
+                ++stats_.warmUnits;
+        }
+        reply(conn, std::string("{\"event\": \"done\", \"results\": "
+                                "1, \"cold_units\": ") +
+                        (cold ? "1" : "0") + ", \"warm_units\": " +
+                        (cold ? "0" : "1") + "}");
+    } catch (const std::exception &e) {
+        inflightUnits_.fetch_sub(units);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.badRequests;
+        }
+        replyError(conn, "bad-request", e.what());
+    }
+    return true;
+}
+
+} // namespace mcd::serve
