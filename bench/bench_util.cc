@@ -151,12 +151,14 @@ reportStoreStats()
     std::string root = cache.storeRoot();
     std::fprintf(stderr,
                  "store: lookups=%llu hits=%llu disk_hits=%llu "
-                 "simulations=%llu",
+                 "simulations=%llu instructions=%llu",
                  static_cast<unsigned long long>(cache.lookups()),
                  static_cast<unsigned long long>(cache.hits()),
                  static_cast<unsigned long long>(cache.diskHits()),
                  static_cast<unsigned long long>(
-                     cache.simulationsRun()));
+                     cache.simulationsRun()),
+                 static_cast<unsigned long long>(
+                     cache.simulatedInstructions()));
     if (!root.empty())
         std::fprintf(stderr, " disk_entries=%zu disk_bytes=%llu "
                              "root=%s",

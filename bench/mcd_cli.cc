@@ -514,13 +514,17 @@ int
 runExperimentsCli(const std::vector<std::string> &benches,
                   const ControllerSpec &controller, ClockMode mode,
                   Hertz freq, std::uint64_t seed, bool have_seed,
-                  const std::string &store, bool json)
+                  const std::string &store,
+                  std::uint64_t checkpoint_every, bool have_checkpoint,
+                  bool json)
 {
     RunnerConfig config = standardConfig();
     if (have_seed)
         config.clockSeed = seed;
     if (!store.empty())
         config.store = store; // --store overrides MCD_STORE
+    if (have_checkpoint) // --checkpoint-every overrides MCD_CHECKPOINT
+        config.checkpointEvery = checkpoint_every;
 
     std::vector<ExperimentSpec> specs;
     for (const auto &bench : benches) {
@@ -962,8 +966,16 @@ usage()
         "  mcd_cli run --bench <name>[,<name>...]\n"
         "              [--controller <name>[:<k=v>,...]]\n"
         "              [--mode mcd|sync] [--freq <hz>] [--seed <n>]\n"
-        "              [--store <dir>] [--json]\n"
-        "                                   run experiments\n"
+        "              [--store <dir>] [--checkpoint-every <insns>]\n"
+        "              [--json]\n"
+        "                                   run experiments; with\n"
+        "                                   --checkpoint-every, "
+        "warm-up\n"
+        "                                   resolves through stored\n"
+        "                                   machine snapshots "
+        "(bit-identical\n"
+        "                                   fast-forward on a warm "
+        "store)\n"
         "  mcd_cli cache [--store <dir>] [--json]\n"
         "                                   print artifact-store "
         "statistics\n"
@@ -1053,7 +1065,9 @@ usage()
         "\n"
         "environment: MCD_INSNS, MCD_WARMUP, MCD_INTERVAL, MCD_JOBS,\n"
         "             MCD_STORE (persistent artifact store root;\n"
-        "             --store overrides)\n");
+        "             --store overrides), MCD_CHECKPOINT (checkpoint\n"
+        "             ladder spacing in instructions;\n"
+        "             --checkpoint-every overrides)\n");
 }
 
 } // namespace
@@ -1093,6 +1107,8 @@ main(int argc, char **argv)
     Hertz freq = 0.0;
     std::uint64_t seed = 0;
     bool have_seed = false;
+    std::uint64_t checkpoint_every = 0;
+    bool have_checkpoint = false;
     std::string store; // --store; "" defers to MCD_STORE
     std::string fleet_socket; // fleet --socket: serve-daemon mode
     // Fleet worker processes. Deliberately defaults to serial: each
@@ -1196,6 +1212,10 @@ main(int argc, char **argv)
         } else if (arg == "--seed") {
             seed = std::strtoull(value(i).c_str(), nullptr, 10);
             have_seed = true;
+        } else if (arg == "--checkpoint-every") {
+            checkpoint_every =
+                parseU64Flag("--checkpoint-every", value(i));
+            have_checkpoint = true;
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -1211,7 +1231,8 @@ main(int argc, char **argv)
         if (benches.empty())
             mcd_fatal("run needs --bench <name>[,<name>...]");
         return runExperimentsCli(benches, controller, mode, freq, seed,
-                                 have_seed, store, json);
+                                 have_seed, store, checkpoint_every,
+                                 have_checkpoint, json);
     }
     if (do_tournament) {
         // Workers share the parent's store; resolve the root here so

@@ -65,6 +65,30 @@ ClockSystem::visible(DomainId src, Tick write_edge,
     return read_edge - write_edge >= dvfs_->syncWindow();
 }
 
+void
+ClockSystem::saveState(std::string &out) const
+{
+    int physical =
+        config_.mode == ClockMode::Synchronous ? 1 : NUM_CLOCKED_DOMAINS;
+    serial::appendI64(out, physical);
+    for (int i = 0; i < physical; ++i)
+        clocks_[static_cast<std::size_t>(i)]->saveState(out);
+}
+
+bool
+ClockSystem::loadState(serial::Reader &in)
+{
+    int physical =
+        config_.mode == ClockMode::Synchronous ? 1 : NUM_CLOCKED_DOMAINS;
+    if (in.readI64() != physical)
+        return false;
+    for (int i = 0; i < physical; ++i) {
+        if (!clocks_[static_cast<std::size_t>(i)]->loadState(in))
+            return false;
+    }
+    return in.ok();
+}
+
 Tick
 ClockSystem::syncWindow() const
 {

@@ -71,6 +71,12 @@ class ClockSystem
     /** The synchronization window in ticks (0 when synchronous). */
     Tick syncWindow() const;
 
+    /** Serialize every physical clock (checkpointing). */
+    void saveState(std::string &out) const;
+
+    /** Inverse of saveState; false on mode mismatch or short data. */
+    bool loadState(serial::Reader &in);
+
   private:
     const DvfsModel *dvfs_;
     ClockSystemConfig config_;

@@ -64,6 +64,37 @@ DomainClock::jitteredEdge()
     return std::max(edge, last_edge_ + 1);
 }
 
+void
+DomainClock::saveState(std::string &out) const
+{
+    serial::appendDouble(out, cur_freq_);
+    serial::appendDouble(out, target_freq_);
+    serial::appendI64(out, nominal_time_);
+    serial::appendI64(out, next_edge_);
+    serial::appendI64(out, last_edge_);
+    serial::appendU64(out, cycles_);
+    serial::appendU64(out, freq_changes_);
+    for (std::uint64_t word : rng_.state())
+        serial::appendU64(out, word);
+}
+
+bool
+DomainClock::loadState(serial::Reader &in)
+{
+    cur_freq_ = in.readDouble();
+    target_freq_ = in.readDouble();
+    nominal_time_ = in.readI64();
+    next_edge_ = in.readI64();
+    last_edge_ = in.readI64();
+    cycles_ = in.readU64();
+    freq_changes_ = in.readU64();
+    std::array<std::uint64_t, 4> rng_state;
+    for (std::uint64_t &word : rng_state)
+        word = in.readU64();
+    rng_.setState(rng_state);
+    return in.ok();
+}
+
 Hertz
 DomainClock::setTargetFrequency(Hertz freq)
 {

@@ -23,6 +23,7 @@
 
 #include "clock/dvfs_model.hh"
 #include "common/random.hh"
+#include "common/serial.hh"
 #include "common/types.hh"
 
 namespace mcd
@@ -89,6 +90,12 @@ class DomainClock
 
     /** Count of target-frequency change requests (PLL activations). */
     std::uint64_t frequencyChanges() const { return freq_changes_; }
+
+    /** Serialize frequency/slew/edge/RNG state (checkpointing). */
+    void saveState(std::string &out) const;
+
+    /** Inverse of saveState; false on short data. */
+    bool loadState(serial::Reader &in);
 
   private:
     DomainId id_;

@@ -62,6 +62,12 @@ class Rng
      */
     int burstLength(double p, int cap);
 
+    /** Raw generator state (checkpointing). Every draw is a pure
+     *  function of this state, so save/restore reproduces the stream
+     *  bit-for-bit. */
+    const std::array<std::uint64_t, 4> &state() const { return state_; }
+    void setState(const std::array<std::uint64_t, 4> &s) { state_ = s; }
+
   private:
     std::array<std::uint64_t, 4> state_;
 };

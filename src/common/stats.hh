@@ -26,6 +26,8 @@ class Counter
     void inc(std::uint64_t n = 1) { value_ += n; }
     std::uint64_t value() const { return value_; }
     void reset() { value_ = 0; }
+    /** Restore a saved value (checkpointing). */
+    void set(std::uint64_t v) { value_ = v; }
 
   private:
     std::uint64_t value_ = 0;

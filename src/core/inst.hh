@@ -1,9 +1,11 @@
 /**
  * @file
  * The in-flight dynamic instruction record. Instructions live in the
- * simulator's program-order window (a deque, so references stay valid as
- * the window head retires) and are referenced by the issue queues, LSQ,
- * and execution lists.
+ * simulator's program-order window — a flat power-of-two ring indexed by
+ * `seq & mask` (see SimState) — and the issue queues, LSQ, and execution
+ * lists reference them by sequence number, which both avoids pointer
+ * chasing in the hot loop and lets whole machine states serialize for
+ * checkpointing.
  */
 
 #ifndef MCD_CORE_INST_HH

@@ -59,6 +59,54 @@ PhysRegFile::readyAt(int reg, DomainId consumer, Tick edge,
     return clocks.visible(e.producer, e.writeTime, consumer, edge);
 }
 
+void
+PhysRegFile::saveState(std::string &out) const
+{
+    serial::appendU64(out, regs_.size());
+    for (const Entry &e : regs_) {
+        serial::appendU64(out, e.written ? 1 : 0);
+        serial::appendI64(out, e.writeTime);
+        serial::appendI64(out, static_cast<int>(e.producer));
+    }
+    serial::appendU64(out, free_list_.size());
+    for (int r : free_list_)
+        serial::appendI64(out, r);
+}
+
+bool
+PhysRegFile::loadState(serial::Reader &in)
+{
+    if (in.readU64() != regs_.size())
+        return false;
+    for (Entry &e : regs_) {
+        e.written = in.readU64() != 0;
+        e.writeTime = in.readI64();
+        e.producer = static_cast<DomainId>(in.readI64());
+    }
+    std::uint64_t free_count = in.readU64();
+    if (!in.ok() || free_count > regs_.size())
+        return false;
+    free_list_.clear();
+    for (std::uint64_t i = 0; i < free_count; ++i)
+        free_list_.push_back(static_cast<int>(in.readI64()));
+    return in.ok();
+}
+
+void
+RenameMap::saveState(std::string &out) const
+{
+    for (int phys : map_)
+        serial::appendI64(out, phys);
+}
+
+bool
+RenameMap::loadState(serial::Reader &in)
+{
+    for (int &phys : map_)
+        phys = static_cast<int>(in.readI64());
+    return in.ok();
+}
+
 RenameMap::RenameMap(PhysRegFile &int_file, PhysRegFile &fp_file)
 {
     map_[0] = -1; // zero register

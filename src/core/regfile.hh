@@ -14,6 +14,7 @@
 #include <array>
 #include <vector>
 
+#include "common/serial.hh"
 #include "clock/clock_system.hh"
 #include "common/types.hh"
 #include "workload/micro_op.hh"
@@ -49,6 +50,14 @@ class PhysRegFile
     int freeCount() const { return static_cast<int>(free_list_.size()); }
     int size() const { return static_cast<int>(regs_.size()); }
 
+    /** Serialize entries and free-list order (checkpointing). The
+     *  free list is a LIFO, so its order shapes future allocations
+     *  and must round-trip exactly. */
+    void saveState(std::string &out) const;
+
+    /** Inverse of saveState; false on size mismatch. */
+    bool loadState(serial::Reader &in);
+
   private:
     struct Entry
     {
@@ -80,6 +89,9 @@ class RenameMap
 
     /** Which file a logical register lives in. */
     static bool isFp(int logical) { return logical >= NUM_INT_ARCH_REGS; }
+
+    void saveState(std::string &out) const;
+    bool loadState(serial::Reader &in);
 
   private:
     std::array<int, NUM_ARCH_REGS> map_;

@@ -1,11 +1,27 @@
 #include "core/simulator.hh"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/logging.hh"
 
 namespace mcd
 {
+
+namespace
+{
+
+/** Bumped whenever the checkpoint byte layout changes. */
+constexpr std::uint64_t CHECKPOINT_FORMAT = 1;
+
+/** Ordered erase of one sequence number from a queue. */
+void
+eraseSeq(std::vector<std::uint64_t> &queue, std::uint64_t seq)
+{
+    std::erase(queue, seq);
+}
+
+} // namespace
 
 DomainId
 controlledDomainId(int slot)
@@ -29,10 +45,14 @@ Simulator::Simulator(const SimConfig &config, WorkloadGenerator &workload,
       memory_(config.core.memory),
       int_regs_(config.core.intPhysRegs),
       fp_regs_(config.core.fpPhysRegs),
-      rename_(int_regs_, fp_regs_)
+      rename_(int_regs_, fp_regs_),
+      state_(config.core.robSize, config.core.lsqSize)
 {
+    const char *per_op = std::getenv("MCD_POWER_PEROP");
+    power_per_op_ = per_op && *per_op && *per_op != '0';
     if (controller_)
         controller_->onStart(clocks_);
+    refreshBatchVoltages();
 }
 
 Volt
@@ -72,16 +92,110 @@ Simulator::execLatency(OpClass cls) const
 }
 
 // ---------------------------------------------------------------------
+// Batched energy accounting
+// ---------------------------------------------------------------------
+
+void
+Simulator::flushPower() const
+{
+    for (int d = 0; d < NUM_CLOCKED_DOMAINS; ++d) {
+        auto di = static_cast<std::size_t>(d);
+        if (batch_.cycles[di]) {
+            power_.chargeCycle(static_cast<DomainId>(d), batch_.volt[di],
+                               batch_.cycles[di]);
+            batch_.cycles[di] = 0;
+        }
+    }
+    for (int s = 0; s < NUM_STRUCTURES; ++s) {
+        auto si = static_cast<std::size_t>(s);
+        for (int d = 0; d < NUM_CLOCKED_DOMAINS; ++d) {
+            auto di = static_cast<std::size_t>(d);
+            if (batch_.accesses[si][di]) {
+                power_.chargeAccess(static_cast<StructureId>(s),
+                                    batch_.volt[di],
+                                    batch_.accesses[si][di]);
+                batch_.accesses[si][di] = 0;
+            }
+        }
+    }
+    if (batch_.memAccesses) {
+        power_.chargeMemoryAccess(batch_.memAccesses);
+        batch_.memAccesses = 0;
+    }
+}
+
+void
+Simulator::refreshBatchVoltages() const
+{
+    for (int d = 0; d < NUM_CLOCKED_DOMAINS; ++d) {
+        auto di = static_cast<std::size_t>(d);
+        const DomainClock &clock = clocks_.clock(static_cast<DomainId>(d));
+        batch_.freq[di] = clock.frequency();
+        batch_.volt[di] = clock.voltage();
+    }
+}
+
+void
+Simulator::syncBatchVoltages()
+{
+    bool changed = false;
+    for (int d = 0; d < NUM_CLOCKED_DOMAINS; ++d) {
+        if (clocks_.clock(static_cast<DomainId>(d)).frequency() !=
+            batch_.freq[static_cast<std::size_t>(d)]) {
+            changed = true;
+            break;
+        }
+    }
+    if (changed) {
+        // Pending charges predate the voltage change; apply them at the
+        // voltages they were incurred under, then re-cache.
+        flushPower();
+        refreshBatchVoltages();
+    }
+}
+
+void
+Simulator::chargeCycleB(DomainId domain)
+{
+    ++batch_.cycles[static_cast<std::size_t>(domainIndex(domain))];
+    if (power_per_op_)
+        flushPower();
+}
+
+void
+Simulator::chargeAccessB(StructureId structure, DomainId domain,
+                         std::uint64_t count)
+{
+    batch_.accesses[static_cast<std::size_t>(structure)]
+                   [static_cast<std::size_t>(domainIndex(domain))] +=
+        count;
+    if (power_per_op_)
+        flushPower();
+}
+
+void
+Simulator::chargeMemB()
+{
+    ++batch_.memAccesses;
+    if (power_per_op_)
+        flushPower();
+}
+
+// ---------------------------------------------------------------------
 // Main loop
 // ---------------------------------------------------------------------
 
 void
 Simulator::run(std::uint64_t instructions)
 {
-    stop_at_ = committed_ + instructions;
-    while (committed_ < stop_at_)
+    runTo(state_.committed + instructions);
+}
+
+void
+Simulator::runTo(std::uint64_t target)
+{
+    while (state_.committed < target)
         step();
-    stop_at_ = ~0ull;
 }
 
 void
@@ -90,7 +204,8 @@ Simulator::step()
     if (clocks_.mode() == ClockMode::Synchronous) {
         DomainClock &clock = clocks_.clock(DomainId::FrontEnd);
         Tick edge = clock.advance();
-        now_ = edge;
+        state_.now = edge;
+        syncBatchVoltages();
         // Execution domains tick before the front end so same-edge
         // completion -> commit and dispatch -> next-edge issue orderings
         // match a conventional synchronous pipeline.
@@ -115,51 +230,46 @@ Simulator::step()
         }
     }
     Tick edge = clocks_.clock(best).advance();
-    now_ = edge;
+    state_.now = edge;
+    syncBatchVoltages();
     tickDomain(best, edge);
 }
 
 void
 Simulator::tickDomain(DomainId domain, Tick edge)
 {
-    power_.chargeCycle(domain, voltage(domain));
+    chargeCycleB(domain);
 
     switch (domain) {
       case DomainId::FrontEnd:
-        ++fe_cycles_;
-        rob_occupancy_sum_ += static_cast<double>(rob_count_);
+        ++state_.feCycles;
+        state_.robOccupancySum += static_cast<double>(state_.robCount());
         frontEndTick(edge);
         break;
       case DomainId::Integer:
-        {
-            DomainAccum &a = interval_accum_[CTL_INT];
-            a.occupancySum += static_cast<double>(int_iq_.size());
-            ++a.cycles;
-            if (!int_iq_.empty() || !int_exec_.empty())
-                ++a.busyCycles;
-            integerTick(edge);
-            break;
-        }
+        state_.ivOccupancySum[CTL_INT] +=
+            static_cast<double>(state_.intIq.size());
+        ++state_.ivCycles[CTL_INT];
+        if (!state_.intIq.empty() || !state_.intExec.empty())
+            ++state_.ivBusyCycles[CTL_INT];
+        integerTick(edge);
+        break;
       case DomainId::FloatingPoint:
-        {
-            DomainAccum &a = interval_accum_[CTL_FP];
-            a.occupancySum += static_cast<double>(fp_iq_.size());
-            ++a.cycles;
-            if (!fp_iq_.empty() || !fp_exec_.empty())
-                ++a.busyCycles;
-            fpTick(edge);
-            break;
-        }
+        state_.ivOccupancySum[CTL_FP] +=
+            static_cast<double>(state_.fpIq.size());
+        ++state_.ivCycles[CTL_FP];
+        if (!state_.fpIq.empty() || !state_.fpExec.empty())
+            ++state_.ivBusyCycles[CTL_FP];
+        fpTick(edge);
+        break;
       case DomainId::LoadStore:
-        {
-            DomainAccum &a = interval_accum_[CTL_LS];
-            a.occupancySum += static_cast<double>(lsq_.size());
-            ++a.cycles;
-            if (!lsq_.empty())
-                ++a.busyCycles;
-            loadStoreTick(edge);
-            break;
-        }
+        state_.ivOccupancySum[CTL_LS] +=
+            static_cast<double>(state_.lsq.size());
+        ++state_.ivCycles[CTL_LS];
+        if (!state_.lsq.empty())
+            ++state_.ivBusyCycles[CTL_LS];
+        loadStoreTick(edge);
+        break;
       default:
         mcd_panic("cannot tick external domain");
     }
@@ -179,9 +289,13 @@ Simulator::frontEndTick(Tick edge)
 void
 Simulator::commitStage(Tick edge)
 {
+    // No run-target ceiling here: a run may overshoot its commit target
+    // by the tail of one retire group, which keeps stopping behavior-
+    // free (runTo composes exactly, the checkpoint contract relies on
+    // it).
     int budget = config_.core.retireWidth;
-    while (budget > 0 && !rob_.empty() && committed_ < stop_at_) {
-        Inst &head = *rob_.front();
+    while (budget > 0 && state_.robHead != state_.nextSeq) {
+        Inst &head = state_.inst(state_.robHead);
         if (!head.completed)
             break;
         if (!clocks_.visible(head.execDomain, head.completeTime,
@@ -189,7 +303,7 @@ Simulator::commitStage(Tick edge)
             break;
 
         head.committed = true;
-        power_.chargeAccess(StructureId::Rob, voltage(DomainId::FrontEnd));
+        chargeAccessB(StructureId::Rob, DomainId::FrontEnd);
 
         if (isControlClass(head.op.cls)) {
             bpred_.update(head.op.pc, head.op.taken, head.op.target,
@@ -201,68 +315,62 @@ Simulator::commitStage(Tick edge)
         }
         if (head.isLoad) {
             head.lsqFreed = true;
-            std::erase(lsq_, &head);
+            eraseSeq(state_.lsq, head.seq);
         }
         if (head.isStore)
             head.committedStore = true;
 
-        rob_.pop_front();
-        --rob_count_;
-        ++committed_;
+        ++state_.robHead;
+        ++state_.committed;
         --budget;
 
-        if (committed_ - interval_start_insts_ >=
+        if (state_.committed - state_.intervalStartInsts >=
             static_cast<std::uint64_t>(config_.core.intervalInstructions))
             handleIntervalBoundary(edge);
     }
-    retireWindowHead();
-}
-
-void
-Simulator::retireWindowHead()
-{
-    while (!window_.empty() && window_.front().retired())
-        window_.pop_front();
+    state_.retireHead();
 }
 
 void
 Simulator::handleIntervalBoundary(Tick edge)
 {
+    flushPower();
+
     IntervalStats stats;
-    stats.index = interval_index_++;
-    stats.instructions = committed_ - interval_start_insts_;
-    stats.feCycles = fe_cycles_ - interval_start_fe_cycles_;
+    stats.index = state_.intervalIndex++;
+    stats.instructions = state_.committed - state_.intervalStartInsts;
+    stats.feCycles = state_.feCycles - state_.intervalStartFeCycles;
     stats.ipc = stats.feCycles
         ? static_cast<double>(stats.instructions) /
           static_cast<double>(stats.feCycles)
         : 0.0;
-    stats.startTime = interval_start_time_;
+    stats.startTime = state_.intervalStartTime;
     stats.endTime = edge;
-    stats.chipEnergy = power_.chipEnergy() - interval_start_energy_;
+    stats.chipEnergy = power_.chipEnergy() - state_.intervalStartEnergy;
 
     for (int slot = 0; slot < NUM_CONTROLLED; ++slot) {
-        const DomainAccum &a = interval_accum_[static_cast<std::size_t>(
-            slot)];
-        DomainIntervalStats &d =
-            stats.domains[static_cast<std::size_t>(slot)];
+        auto si = static_cast<std::size_t>(slot);
+        DomainIntervalStats &d = stats.domains[si];
         d.queueUtilization = stats.instructions
-            ? a.occupancySum / static_cast<double>(stats.instructions)
+            ? state_.ivOccupancySum[si] /
+              static_cast<double>(stats.instructions)
             : 0.0;
-        d.avgOccupancy = a.cycles
-            ? a.occupancySum / static_cast<double>(a.cycles)
+        d.avgOccupancy = state_.ivCycles[si]
+            ? state_.ivOccupancySum[si] /
+              static_cast<double>(state_.ivCycles[si])
             : 0.0;
-        d.issued = a.issued;
-        d.cycles = a.cycles;
-        d.busyCycles = a.busyCycles;
+        d.issued = state_.ivIssued[si];
+        d.cycles = state_.ivCycles[si];
+        d.busyCycles = state_.ivBusyCycles[si];
         d.frequency =
             clocks_.clock(controlledDomainId(slot)).targetFrequency();
     }
 
     stats.robUtilization = stats.instructions
-        ? rob_occupancy_sum_ / static_cast<double>(stats.instructions)
+        ? state_.robOccupancySum / static_cast<double>(stats.instructions)
         : 0.0;
     stats.avgRobOccupancy = stats.feCycles
-        ? rob_occupancy_sum_ / static_cast<double>(stats.feCycles)
+        ? state_.robOccupancySum / static_cast<double>(stats.feCycles)
         : 0.0;
     stats.feFrequency =
         clocks_.clock(DomainId::FrontEnd).targetFrequency();
@@ -271,20 +379,21 @@ Simulator::handleIntervalBoundary(Tick edge)
         controller_->onInterval(stats, clocks_);
     if (interval_observer_)
         interval_observer_(stats);
+    // The controller may have jumped a frequency with no slew.
+    syncBatchVoltages();
 
-    interval_accum_ = {};
-    rob_occupancy_sum_ = 0.0;
-    interval_start_insts_ = committed_;
-    interval_start_fe_cycles_ = fe_cycles_;
-    interval_start_time_ = edge;
-    interval_start_energy_ = power_.chipEnergy();
+    state_.resetIntervalAccum();
+    state_.intervalStartInsts = state_.committed;
+    state_.intervalStartFeCycles = state_.feCycles;
+    state_.intervalStartTime = edge;
+    state_.intervalStartEnergy = power_.chipEnergy();
 }
 
 bool
 Simulator::resourcesAvailable(const MicroOp &op) const
 {
     const CoreConfig &c = config_.core;
-    if (rob_count_ >= c.robSize)
+    if (state_.robCount() >= c.robSize)
         return false;
     if (op.dst > 0) {
         const PhysRegFile &file =
@@ -293,59 +402,58 @@ Simulator::resourcesAvailable(const MicroOp &op) const
             return false;
     }
     if (isMemClass(op.cls))
-        return static_cast<int>(lsq_.size()) < c.lsqSize;
+        return static_cast<int>(state_.lsq.size()) < c.lsqSize;
     if (isFpClass(op.cls))
-        return static_cast<int>(fp_iq_.size()) < c.fpIqSize;
-    return static_cast<int>(int_iq_.size()) < c.intIqSize;
+        return static_cast<int>(state_.fpIq.size()) < c.fpIqSize;
+    return static_cast<int>(state_.intIq.size()) < c.intIqSize;
 }
 
 void
 Simulator::fetchAndDispatch(Tick edge)
 {
     const CoreConfig &c = config_.core;
-    Volt v_fe = voltage(DomainId::FrontEnd);
 
-    if (stall_branch_) {
-        if (branch_resolve_time_ == MAX_TICK)
+    if (state_.stallBranchSeq != NO_SEQ) {
+        if (state_.branchResolveTime == MAX_TICK)
             return; // branch still executing
-        if (!clocks_.visible(branch_resolve_domain_, branch_resolve_time_,
+        if (!clocks_.visible(state_.branchResolveDomain,
+                             state_.branchResolveTime,
                              DomainId::FrontEnd, edge))
             return; // redirect has not crossed into the front end yet
-        if (redirect_penalty_left_ > 0) {
-            --redirect_penalty_left_;
+        if (state_.redirectPenaltyLeft > 0) {
+            --state_.redirectPenaltyLeft;
             // Wrong-path fetch shadow: the fetch engine keeps running.
-            power_.chargeAccess(StructureId::Icache, v_fe);
+            chargeAccessB(StructureId::Icache, DomainId::FrontEnd);
             return;
         }
-        stall_branch_ = nullptr;
-        branch_resolve_time_ = MAX_TICK;
+        state_.stallBranchSeq = NO_SEQ;
+        state_.branchResolveTime = MAX_TICK;
     }
 
-    if (icache_stall_until_ > edge)
+    if (state_.icacheStallUntil > edge)
         return;
 
     bool accessed_line = false;
     for (int budget = c.decodeWidth; budget > 0; --budget) {
-        if (!have_pending_op_) {
-            pending_op_ = workload_->next();
-            have_pending_op_ = true;
+        if (!state_.havePendingOp) {
+            state_.pendingOp = workload_->next();
+            state_.havePendingOp = true;
         }
-        const MicroOp &op = pending_op_;
+        const MicroOp &op = state_.pendingOp;
         if (!resourcesAvailable(op))
             break;
 
         std::uint64_t line = lineOf(op.pc);
-        if (line != last_fetch_line_) {
+        if (line != state_.lastFetchLine) {
             if (accessed_line)
                 break; // one I-cache line per fetch cycle
             accessed_line = true;
-            power_.chargeAccess(StructureId::Icache, v_fe);
+            chargeAccessB(StructureId::Icache, DomainId::FrontEnd);
             MemAccessOutcome outcome = memory_.accessInst(op.pc);
-            last_fetch_line_ = line;
+            state_.lastFetchLine = line;
             if (outcome.level != MemLevel::L1) {
-                Volt v_ls = voltage(DomainId::LoadStore);
-                power_.chargeAccess(
-                    StructureId::L2Cache, v_ls,
+                chargeAccessB(
+                    StructureId::L2Cache, DomainId::LoadStore,
                     static_cast<std::uint64_t>(outcome.l2Accesses));
                 Tick ls_period = periodFromFreq(
                     clocks_.clock(DomainId::LoadStore).frequency());
@@ -353,23 +461,23 @@ Simulator::fetchAndDispatch(Tick edge)
                     config_.core.memory.l2Latency * ls_period;
                 for (int m = 0; m < outcome.memAccesses; ++m) {
                     done = memory_.memory().schedule(done);
-                    power_.chargeMemoryAccess();
+                    chargeMemB();
                 }
-                icache_stall_until_ = done + clocks_.syncWindow();
+                state_.icacheStallUntil = done + clocks_.syncWindow();
                 break;
             }
         }
 
         if (!dispatchOne(op, edge))
             break;
-        have_pending_op_ = false;
+        state_.havePendingOp = false;
 
-        const Inst &inst = window_.back();
+        const Inst &inst = state_.inst(state_.nextSeq - 1);
         if (isControlClass(op.cls)) {
             if (inst.mispredicted) {
-                stall_branch_ = &inst;
-                redirect_penalty_left_ = c.branchMispredictPenalty;
-                branch_resolve_time_ = MAX_TICK;
+                state_.stallBranchSeq = inst.seq;
+                state_.redirectPenaltyLeft = c.branchMispredictPenalty;
+                state_.branchResolveTime = MAX_TICK;
                 break;
             }
             if (op.taken)
@@ -381,12 +489,8 @@ Simulator::fetchAndDispatch(Tick edge)
 bool
 Simulator::dispatchOne(const MicroOp &op, Tick edge)
 {
-    Volt v_fe = voltage(DomainId::FrontEnd);
-
-    window_.push_back(Inst{});
-    Inst &inst = window_.back();
+    Inst &inst = state_.allocate();
     inst.op = op;
-    inst.seq = next_seq_++;
     inst.dispatchTime = edge;
     inst.isLoad = isLoadClass(op.cls);
     inst.isStore = isStoreClass(op.cls);
@@ -398,8 +502,8 @@ Simulator::dispatchOne(const MicroOp &op, Tick edge)
     inst.physB = rename_.lookup(op.srcB);
 
     if (isControlClass(op.cls)) {
-        branches_.inc();
-        power_.chargeAccess(StructureId::BranchPredictor, v_fe);
+        state_.branches.inc();
+        chargeAccessB(StructureId::BranchPredictor, DomainId::FrontEnd);
         BranchPrediction pred = bpred_.predict(
             op.pc, op.cls == OpClass::Call, op.cls == OpClass::Return,
             op.fallthrough());
@@ -407,7 +511,7 @@ Simulator::dispatchOne(const MicroOp &op, Tick edge)
             (!op.taken || pred.target == op.target);
         inst.mispredicted = !correct;
         if (!correct)
-            mispredicts_.inc();
+            state_.mispredicts.inc();
     }
 
     if (op.dst > 0) {
@@ -420,25 +524,22 @@ Simulator::dispatchOne(const MicroOp &op, Tick edge)
         inst.oldPhysDst = rename_.rename(op.dst, phys);
     }
 
-    power_.chargeAccess(StructureId::RenameTable, v_fe);
-    power_.chargeAccess(StructureId::Rob, v_fe);
-    rob_.push_back(&inst);
-    ++rob_count_;
+    chargeAccessB(StructureId::RenameTable, DomainId::FrontEnd);
+    chargeAccessB(StructureId::Rob, DomainId::FrontEnd);
+    // ROB membership is implicit: every live seq >= robHead is in it.
 
     if (isMemClass(op.cls)) {
-        lsq_.push_back(&inst);
-        power_.chargeAccess(StructureId::Lsq,
-                            voltage(DomainId::LoadStore));
-        loads_.inc(inst.isLoad ? 1 : 0);
-        stores_.inc(inst.isStore ? 1 : 0);
+        state_.lsq.push_back(inst.seq);
+        chargeAccessB(StructureId::Lsq, DomainId::LoadStore);
+        state_.loads.inc(inst.isLoad ? 1 : 0);
+        state_.stores.inc(inst.isStore ? 1 : 0);
     } else if (isFpClass(op.cls)) {
-        fp_iq_.push_back(&inst);
-        power_.chargeAccess(StructureId::FpIssueQueue,
-                            voltage(DomainId::FloatingPoint));
+        state_.fpIq.push_back(inst.seq);
+        chargeAccessB(StructureId::FpIssueQueue,
+                      DomainId::FloatingPoint);
     } else {
-        int_iq_.push_back(&inst);
-        power_.chargeAccess(StructureId::IntIssueQueue,
-                            voltage(DomainId::Integer));
+        state_.intIq.push_back(inst.seq);
+        chargeAccessB(StructureId::IntIssueQueue, DomainId::Integer);
     }
     return true;
 }
@@ -475,27 +576,27 @@ Simulator::completeInst(Inst &inst, DomainId domain, Tick edge)
         PhysRegFile &file =
             inst.dstIsFp() ? fp_regs_ : int_regs_;
         file.markWritten(inst.physDst, edge, domain);
-        power_.chargeAccess(inst.dstIsFp() ? StructureId::FpRegFile
-                                           : StructureId::IntRegFile,
-                            voltage(domain));
-        power_.chargeAccess(StructureId::ResultBus, voltage(domain));
+        chargeAccessB(inst.dstIsFp() ? StructureId::FpRegFile
+                                     : StructureId::IntRegFile,
+                      domain);
+        chargeAccessB(StructureId::ResultBus, domain);
     }
     if (inst.usesMshr && inst.isLoad) {
-        --mshr_in_use_;
+        --state_.mshrInUse;
         inst.usesMshr = false;
     }
     if (inst.mispredicted && isControlClass(inst.op.cls)) {
-        branch_resolve_time_ = edge;
-        branch_resolve_domain_ = domain;
+        state_.branchResolveTime = edge;
+        state_.branchResolveDomain = domain;
     }
 }
 
 void
-Simulator::processCompletions(std::vector<Inst *> &exec_list,
+Simulator::processCompletions(std::vector<std::uint64_t> &exec_list,
                               DomainId domain, Tick edge)
 {
     for (std::size_t i = 0; i < exec_list.size();) {
-        Inst &inst = *exec_list[i];
+        Inst &inst = state_.inst(exec_list[i]);
         if (inst.remainingCycles > 0)
             --inst.remainingCycles;
         if (inst.remainingCycles == 0 &&
@@ -504,10 +605,10 @@ Simulator::processCompletions(std::vector<Inst *> &exec_list,
                 // A committed store write finishing: free the LSQ slot.
                 inst.lsqFreed = true;
                 if (inst.usesMshr) {
-                    --mshr_in_use_;
+                    --state_.mshrInUse;
                     inst.usesMshr = false;
                 }
-                std::erase(lsq_, &inst);
+                eraseSeq(state_.lsq, inst.seq);
             } else {
                 completeInst(inst, domain, edge);
             }
@@ -522,18 +623,18 @@ Simulator::processCompletions(std::vector<Inst *> &exec_list,
 void
 Simulator::integerTick(Tick edge)
 {
-    if (int_div_busy_ > 0)
-        --int_div_busy_;
-    processCompletions(int_exec_, DomainId::Integer, edge);
+    if (state_.intDivBusy > 0)
+        --state_.intDivBusy;
+    processCompletions(state_.intExec, DomainId::Integer, edge);
     issueInteger(edge);
 }
 
 void
 Simulator::fpTick(Tick edge)
 {
-    if (fp_div_busy_ > 0)
-        --fp_div_busy_;
-    processCompletions(fp_exec_, DomainId::FloatingPoint, edge);
+    if (state_.fpDivBusy > 0)
+        --state_.fpDivBusy;
+    processCompletions(state_.fpExec, DomainId::FloatingPoint, edge);
     issueFp(edge);
 }
 
@@ -541,14 +642,13 @@ void
 Simulator::issueInteger(Tick edge)
 {
     const CoreConfig &c = config_.core;
-    Volt v = voltage(DomainId::Integer);
+    std::vector<std::uint64_t> &q = state_.intIq;
     int budget = c.intIssueWidth;
     int alu_slots = c.intAluCount;
-    int mult_slots = int_div_busy_ == 0 ? 1 : 0;
+    int mult_slots = state_.intDivBusy == 0 ? 1 : 0;
 
-    for (auto it = int_iq_.begin();
-         it != int_iq_.end() && budget > 0;) {
-        Inst &inst = **it;
+    for (std::size_t i = 0; i < q.size() && budget > 0;) {
+        Inst &inst = state_.inst(q[i]);
         // Queue-write latency: the entry is latched into the issue
         // queue on the first domain edge that satisfies the sync rule
         // and becomes issue-eligible the following edge.
@@ -556,49 +656,49 @@ Simulator::issueInteger(Tick edge)
             if (clocks_.visible(DomainId::FrontEnd, inst.dispatchTime,
                                 DomainId::Integer, edge))
                 inst.enqueued = true;
-            ++it;
+            ++i;
             continue;
         }
         if (!operandsReady(inst, DomainId::Integer, edge)) {
-            ++it;
+            ++i;
             continue;
         }
 
         OpClass cls = inst.op.cls;
         if (cls == OpClass::IntMult) {
             if (mult_slots == 0) {
-                ++it;
+                ++i;
                 continue;
             }
             --mult_slots;
-            power_.chargeAccess(StructureId::IntMult, v);
+            chargeAccessB(StructureId::IntMult, DomainId::Integer);
         } else if (cls == OpClass::IntDiv) {
             if (mult_slots == 0) {
-                ++it;
+                ++i;
                 continue;
             }
             mult_slots = 0;
-            int_div_busy_ = c.intDivLatency;
-            power_.chargeAccess(StructureId::IntMult, v);
+            state_.intDivBusy = c.intDivLatency;
+            chargeAccessB(StructureId::IntMult, DomainId::Integer);
         } else {
             if (alu_slots == 0) {
-                ++it;
+                ++i;
                 continue;
             }
             --alu_slots;
-            power_.chargeAccess(StructureId::IntAlu, v);
+            chargeAccessB(StructureId::IntAlu, DomainId::Integer);
         }
 
         inst.issued = true;
         inst.remainingCycles = execLatency(cls);
-        int_exec_.push_back(&inst);
-        power_.chargeAccess(StructureId::IntIssueQueue, v);
+        state_.intExec.push_back(inst.seq);
+        chargeAccessB(StructureId::IntIssueQueue, DomainId::Integer);
         int reads = (inst.op.srcA > 0 ? 1 : 0) +
                     (inst.op.srcB > 0 ? 1 : 0);
-        power_.chargeAccess(StructureId::IntRegFile, v,
-                            static_cast<std::uint64_t>(reads));
-        ++interval_accum_[CTL_INT].issued;
-        it = int_iq_.erase(it);
+        chargeAccessB(StructureId::IntRegFile, DomainId::Integer,
+                      static_cast<std::uint64_t>(reads));
+        ++state_.ivIssued[CTL_INT];
+        q.erase(q.begin() + static_cast<std::ptrdiff_t>(i));
         --budget;
     }
 }
@@ -607,61 +707,62 @@ void
 Simulator::issueFp(Tick edge)
 {
     const CoreConfig &c = config_.core;
-    Volt v = voltage(DomainId::FloatingPoint);
+    std::vector<std::uint64_t> &q = state_.fpIq;
     int budget = c.fpIssueWidth;
     int alu_slots = c.fpAluCount;
-    int mult_slots = fp_div_busy_ == 0 ? 1 : 0;
+    int mult_slots = state_.fpDivBusy == 0 ? 1 : 0;
 
-    for (auto it = fp_iq_.begin(); it != fp_iq_.end() && budget > 0;) {
-        Inst &inst = **it;
+    for (std::size_t i = 0; i < q.size() && budget > 0;) {
+        Inst &inst = state_.inst(q[i]);
         if (!inst.enqueued) {
             if (clocks_.visible(DomainId::FrontEnd, inst.dispatchTime,
                                 DomainId::FloatingPoint, edge))
                 inst.enqueued = true;
-            ++it;
+            ++i;
             continue;
         }
         if (!operandsReady(inst, DomainId::FloatingPoint, edge)) {
-            ++it;
+            ++i;
             continue;
         }
 
         OpClass cls = inst.op.cls;
         if (cls == OpClass::FpMult) {
             if (mult_slots == 0) {
-                ++it;
+                ++i;
                 continue;
             }
             --mult_slots;
-            power_.chargeAccess(StructureId::FpMult, v);
+            chargeAccessB(StructureId::FpMult, DomainId::FloatingPoint);
         } else if (cls == OpClass::FpDiv || cls == OpClass::FpSqrt) {
             if (mult_slots == 0) {
-                ++it;
+                ++i;
                 continue;
             }
             mult_slots = 0;
-            fp_div_busy_ = cls == OpClass::FpDiv ? c.fpDivLatency
-                                                 : c.fpSqrtLatency;
-            power_.chargeAccess(StructureId::FpMult, v);
+            state_.fpDivBusy = cls == OpClass::FpDiv ? c.fpDivLatency
+                                                     : c.fpSqrtLatency;
+            chargeAccessB(StructureId::FpMult, DomainId::FloatingPoint);
         } else {
             if (alu_slots == 0) {
-                ++it;
+                ++i;
                 continue;
             }
             --alu_slots;
-            power_.chargeAccess(StructureId::FpAlu, v);
+            chargeAccessB(StructureId::FpAlu, DomainId::FloatingPoint);
         }
 
         inst.issued = true;
         inst.remainingCycles = execLatency(cls);
-        fp_exec_.push_back(&inst);
-        power_.chargeAccess(StructureId::FpIssueQueue, v);
+        state_.fpExec.push_back(inst.seq);
+        chargeAccessB(StructureId::FpIssueQueue,
+                      DomainId::FloatingPoint);
         int reads = (inst.op.srcA > 0 ? 1 : 0) +
                     (inst.op.srcB > 0 ? 1 : 0);
-        power_.chargeAccess(StructureId::FpRegFile, v,
-                            static_cast<std::uint64_t>(reads));
-        ++interval_accum_[CTL_FP].issued;
-        it = fp_iq_.erase(it);
+        chargeAccessB(StructureId::FpRegFile, DomainId::FloatingPoint,
+                      static_cast<std::uint64_t>(reads));
+        ++state_.ivIssued[CTL_FP];
+        q.erase(q.begin() + static_cast<std::ptrdiff_t>(i));
         --budget;
     }
 }
@@ -675,17 +776,18 @@ Simulator::olderStoreBlocks(const Inst &load, const Inst *&forward) const
 {
     forward = nullptr;
     std::uint64_t load_word = load.op.memAddr >> 3;
-    for (const Inst *p : lsq_) {
-        if (p->seq >= load.seq)
+    for (std::uint64_t seq : state_.lsq) {
+        if (seq >= load.seq)
             break;
-        if (!p->isStore)
+        const Inst &p = state_.inst(seq);
+        if (!p.isStore)
             continue;
-        if (!p->addrKnown)
+        if (!p.addrKnown)
             return true; // conservative disambiguation
-        if ((p->op.memAddr >> 3) == load_word) {
-            if (!p->dataReady)
+        if ((p.op.memAddr >> 3) == load_word) {
+            if (!p.dataReady)
                 return true; // matching store, data not yet ready
-            forward = p;     // newest matching store wins
+            forward = &p;    // newest matching store wins
         }
     }
     return false;
@@ -695,19 +797,18 @@ void
 Simulator::startDataAccess(Inst &inst, Tick edge, bool is_write)
 {
     const CoreConfig &c = config_.core;
-    Volt v = voltage(DomainId::LoadStore);
 
     MemAccessOutcome outcome =
         memory_.accessData(inst.op.memAddr, is_write);
-    power_.chargeAccess(StructureId::Dcache, v);
-    power_.chargeAccess(StructureId::L2Cache, v,
-                        static_cast<std::uint64_t>(outcome.l2Accesses));
+    chargeAccessB(StructureId::Dcache, DomainId::LoadStore);
+    chargeAccessB(StructureId::L2Cache, DomainId::LoadStore,
+                  static_cast<std::uint64_t>(outcome.l2Accesses));
 
     int cycles = c.memory.l1Latency;
     Tick abs_done = MAX_TICK;
     if (outcome.level != MemLevel::L1) {
         cycles += c.memory.l2Latency;
-        ++mshr_in_use_;
+        ++state_.mshrInUse;
         inst.usesMshr = true;
     }
     if (outcome.level == MemLevel::Memory) {
@@ -716,7 +817,7 @@ Simulator::startDataAccess(Inst &inst, Tick edge, bool is_write)
         Tick request = edge + cycles * ls_period;
         for (int m = 0; m < outcome.memAccesses; ++m) {
             abs_done = memory_.memory().schedule(request);
-            power_.chargeMemoryAccess();
+            chargeMemB();
         }
         // Main memory is its own clock domain: crossing back into the
         // load/store domain pays the synchronization window.
@@ -730,20 +831,18 @@ Simulator::startDataAccess(Inst &inst, Tick edge, bool is_write)
         inst.writeIssued = true;
     else
         inst.memIssued = true;
-    ls_exec_.push_back(&inst);
+    state_.lsExec.push_back(inst.seq);
 }
 
 void
 Simulator::issueLoadStore(Tick edge)
 {
     const CoreConfig &c = config_.core;
-    Volt v = voltage(DomainId::LoadStore);
     int budget = c.memIssueWidth;
 
-    for (Inst *p : lsq_) {
-        if (budget == 0)
-            break;
-        Inst &inst = *p;
+    for (std::size_t i = 0;
+         i < state_.lsq.size() && budget > 0; ++i) {
+        Inst &inst = state_.inst(state_.lsq[i]);
         if (!inst.enqueued) {
             if (clocks_.visible(DomainId::FrontEnd, inst.dispatchTime,
                                 DomainId::LoadStore, edge))
@@ -756,7 +855,7 @@ Simulator::issueLoadStore(Tick edge)
                 regReady(inst.op.srcA, inst.physA, DomainId::LoadStore,
                          edge)) {
                 inst.addrKnown = true; // AGU operation
-                power_.chargeAccess(StructureId::Lsq, v);
+                chargeAccessB(StructureId::Lsq, DomainId::LoadStore);
                 --budget;
             }
             if (!inst.dataReady &&
@@ -767,7 +866,7 @@ Simulator::issueLoadStore(Tick edge)
                 inst.completed = true;
                 inst.completeTime = edge;
                 inst.execDomain = DomainId::LoadStore;
-                ++interval_accum_[CTL_LS].issued;
+                ++state_.ivIssued[CTL_LS];
             }
             continue;
         }
@@ -786,33 +885,32 @@ Simulator::issueLoadStore(Tick edge)
             inst.memIssued = true;
             inst.forwarded = true;
             inst.remainingCycles = 1;
-            ls_exec_.push_back(&inst);
-            power_.chargeAccess(StructureId::Lsq, v);
-            ++interval_accum_[CTL_LS].issued;
+            state_.lsExec.push_back(inst.seq);
+            chargeAccessB(StructureId::Lsq, DomainId::LoadStore);
+            ++state_.ivIssued[CTL_LS];
             --budget;
             continue;
         }
 
         bool hit = memory_.l1d().probe(inst.op.memAddr);
-        if (!hit && mshr_in_use_ >= c.mshrCount)
+        if (!hit && state_.mshrInUse >= c.mshrCount)
             continue; // no MSHR free; retry next cycle
-        power_.chargeAccess(StructureId::Lsq, v);
+        chargeAccessB(StructureId::Lsq, DomainId::LoadStore);
         startDataAccess(inst, edge, false);
-        ++interval_accum_[CTL_LS].issued;
+        ++state_.ivIssued[CTL_LS];
         --budget;
     }
 
     // Drain committed stores into the cache with leftover bandwidth.
-    for (Inst *p : lsq_) {
-        if (budget == 0)
-            break;
-        Inst &inst = *p;
+    for (std::size_t i = 0;
+         i < state_.lsq.size() && budget > 0; ++i) {
+        Inst &inst = state_.inst(state_.lsq[i]);
         if (!inst.isStore || !inst.committedStore || inst.writeIssued)
             continue;
         bool hit = memory_.l1d().probe(inst.op.memAddr);
-        if (!hit && mshr_in_use_ >= c.mshrCount)
+        if (!hit && state_.mshrInUse >= c.mshrCount)
             break; // stores drain in order
-        power_.chargeAccess(StructureId::Lsq, v);
+        chargeAccessB(StructureId::Lsq, DomainId::LoadStore);
         startDataAccess(inst, edge, true);
         --budget;
     }
@@ -821,9 +919,9 @@ Simulator::issueLoadStore(Tick edge)
 void
 Simulator::loadStoreTick(Tick edge)
 {
-    processCompletions(ls_exec_, DomainId::LoadStore, edge);
+    processCompletions(state_.lsExec, DomainId::LoadStore, edge);
     issueLoadStore(edge);
-    retireWindowHead();
+    state_.retireHead();
 }
 
 // ---------------------------------------------------------------------
@@ -831,28 +929,113 @@ Simulator::loadStoreTick(Tick edge)
 // ---------------------------------------------------------------------
 
 void
+Simulator::engageController(FrequencyController *controller)
+{
+    flushPower();
+    controller_ = controller;
+    if (controller_)
+        controller_->onStart(clocks_);
+    syncBatchVoltages();
+}
+
+void
 Simulator::resetMeasurement()
 {
+    // Pending batched charges predate the reset; drop them along with
+    // the accumulators (identical to per-op accounting, where they
+    // would already have been added and then zeroed here).
+    batch_.cycles.fill(0);
+    for (auto &per_domain : batch_.accesses)
+        per_domain.fill(0);
+    batch_.memAccesses = 0;
     power_.reset();
-    meas_committed_base_ = committed_;
-    meas_fe_cycles_base_ = fe_cycles_;
-    meas_time_base_ = now_;
-    branches_.reset();
-    mispredicts_.reset();
-    loads_.reset();
-    stores_.reset();
-    interval_accum_ = {};
-    rob_occupancy_sum_ = 0.0;
-    interval_start_insts_ = committed_;
-    interval_start_fe_cycles_ = fe_cycles_;
-    interval_start_time_ = now_;
-    interval_start_energy_ = 0.0; // power_ was just reset
+
+    state_.measCommittedBase = state_.committed;
+    state_.measFeCyclesBase = state_.feCycles;
+    state_.measTimeBase = state_.now;
+    state_.branches.reset();
+    state_.mispredicts.reset();
+    state_.loads.reset();
+    state_.stores.reset();
+    state_.resetIntervalAccum();
+    state_.intervalIndex = 0;
+    state_.intervalStartInsts = state_.committed;
+    state_.intervalStartFeCycles = state_.feCycles;
+    state_.intervalStartTime = state_.now;
+    state_.intervalStartEnergy = 0.0; // power_ was just reset
 }
+
+// ---------------------------------------------------------------------
+// Checkpointing
+// ---------------------------------------------------------------------
+
+void
+Simulator::saveCheckpoint(std::string &out) const
+{
+    serial::appendU64(out, CHECKPOINT_FORMAT);
+    state_.saveState(out);
+    clocks_.saveState(out);
+    memory_.saveState(out);
+    bpred_.saveState(out);
+    int_regs_.saveState(out);
+    fp_regs_.saveState(out);
+    rename_.saveState(out);
+    power_.saveState(out);
+    // Pending charge batch: serialized rather than flushed, so the
+    // resumed run flushes at the same points (and therefore sums the
+    // same floating-point terms in the same order) as an unbroken run.
+    for (std::uint64_t cycles : batch_.cycles)
+        serial::appendU64(out, cycles);
+    for (const auto &per_domain : batch_.accesses)
+        for (std::uint64_t count : per_domain)
+            serial::appendU64(out, count);
+    serial::appendU64(out, batch_.memAccesses);
+    workload_->saveState(out);
+}
+
+bool
+Simulator::restoreCheckpoint(serial::Reader &in)
+{
+    if (in.readU64() != CHECKPOINT_FORMAT)
+        return false;
+    if (!state_.loadState(in))
+        return false;
+    if (!clocks_.loadState(in))
+        return false;
+    if (!memory_.loadState(in))
+        return false;
+    if (!bpred_.loadState(in))
+        return false;
+    if (!int_regs_.loadState(in))
+        return false;
+    if (!fp_regs_.loadState(in))
+        return false;
+    if (!rename_.loadState(in))
+        return false;
+    if (!power_.loadState(in))
+        return false;
+    for (std::uint64_t &cycles : batch_.cycles)
+        cycles = in.readU64();
+    for (auto &per_domain : batch_.accesses)
+        for (std::uint64_t &count : per_domain)
+            count = in.readU64();
+    batch_.memAccesses = in.readU64();
+    if (!workload_->loadState(in))
+        return false;
+    // Voltage caches are derived state: recompute from the restored
+    // clocks (cur_freq round-trips bit-exactly, so these match too).
+    refreshBatchVoltages();
+    return in.ok();
+}
+
+// ---------------------------------------------------------------------
+// Statistics
+// ---------------------------------------------------------------------
 
 void
 Simulator::dumpStats(StatDump &dump) const
 {
-    SimStats s = stats();
+    SimStats s = stats(); // flushes pending charges
     dump.set("run.instructions", static_cast<double>(s.instructions));
     dump.set("run.fe_cycles", static_cast<double>(s.feCycles));
     dump.set("run.time_ps", static_cast<double>(s.time));
@@ -904,10 +1087,11 @@ Simulator::dumpStats(StatDump &dump) const
 SimStats
 Simulator::stats() const
 {
+    flushPower();
     SimStats s;
-    s.instructions = committed_ - meas_committed_base_;
-    s.feCycles = fe_cycles_ - meas_fe_cycles_base_;
-    s.time = now_ - meas_time_base_;
+    s.instructions = state_.committed - state_.measCommittedBase;
+    s.feCycles = state_.feCycles - state_.measFeCyclesBase;
+    s.time = state_.now - state_.measTimeBase;
     s.chipEnergy = power_.chipEnergy();
     s.cpi = s.instructions
         ? static_cast<double>(s.feCycles) /
@@ -916,10 +1100,10 @@ Simulator::stats() const
     s.epi = s.instructions
         ? s.chipEnergy / static_cast<double>(s.instructions)
         : 0.0;
-    s.branches = branches_.value();
-    s.mispredicts = mispredicts_.value();
-    s.loads = loads_.value();
-    s.stores = stores_.value();
+    s.branches = state_.branches.value();
+    s.mispredicts = state_.mispredicts.value();
+    s.loads = state_.loads.value();
+    s.stores = state_.stores.value();
     s.l1dMisses = memory_.l1d().misses().value();
     s.l2Misses = memory_.l2().misses().value();
     for (int d = 0; d < NUM_CLOCKED_DOMAINS; ++d) {

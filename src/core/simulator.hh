@@ -21,23 +21,39 @@
  * ROB, 20/15-entry issue queues, 64-entry LSQ with store-to-load
  * forwarding and conservative disambiguation, 72+72 physical registers,
  * MSHR-limited non-blocking caches.
+ *
+ * All mutable machine state lives in a SimState aggregate (see
+ * sim_state.hh), so a run can be checkpointed at any stopping point and
+ * resumed bit-identically: runTo(X) followed by runTo(Y) executes the
+ * exact same step sequence as a single runTo(Y). To keep stopping
+ * behavior-free, the commit stage never caps commits at a run target —
+ * a run may overshoot its target by up to retireWidth-1 instructions.
+ *
+ * Energy accounting is batched: per-edge cycle charges and per-access
+ * structure charges accumulate in integer counters and are applied to
+ * the PowerAccountant only when a domain voltage changes, at interval
+ * boundaries, at measurement resets, and when stats are read. Setting
+ * MCD_POWER_PEROP=1 in the environment flushes after every charge,
+ * reproducing the old per-op accounting order (for equivalence tests).
  */
 
 #ifndef MCD_CORE_SIMULATOR_HH
 #define MCD_CORE_SIMULATOR_HH
 
+#include <array>
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <memory>
+#include <string>
 #include <vector>
 
 #include "clock/clock_system.hh"
+#include "common/serial.hh"
 #include "common/stats.hh"
 #include "core/core_config.hh"
 #include "core/inst.hh"
 #include "core/interval.hh"
 #include "core/regfile.hh"
+#include "core/sim_state.hh"
 #include "memory/memory_hierarchy.hh"
 #include "power/power_accountant.hh"
 #include "predictor/branch_predictor.hh"
@@ -86,13 +102,27 @@ class Simulator
     Simulator(const SimConfig &config, WorkloadGenerator &workload,
               FrequencyController *controller = nullptr);
 
-    /** Run until `instructions` more have committed. */
+    /**
+     * Run until at least `instructions` more have committed. The run may
+     * overshoot by up to retireWidth-1 commits; stopping is behavior-
+     * free, so run(a); run(b) is identical to run(a + b).
+     */
     void run(std::uint64_t instructions);
+
+    /** Run until the absolute commit count reaches `target`. */
+    void runTo(std::uint64_t target);
+
+    /**
+     * Install (or replace) the frequency controller mid-run; its
+     * onStart hook fires immediately. Used to run warm-up uncontrolled
+     * so warm-up checkpoints are shared across controllers.
+     */
+    void engageController(FrequencyController *controller);
 
     /**
      * Reset measurement state (energy, cycle/instruction counters,
-     * interval accumulators) without flushing microarchitectural state;
-     * used to exclude warm-up from measurements.
+     * interval numbering and accumulators) without flushing micro-
+     * architectural state; used to exclude warm-up from measurements.
      */
     void resetMeasurement();
 
@@ -114,11 +144,27 @@ class Simulator
      */
     void dumpStats(StatDump &dump) const;
 
+    /**
+     * Serialize the entire machine — SimState, clocks, caches,
+     * predictor, register files, energy accumulators (pending charge
+     * batch included, so flush points replay identically), and the
+     * workload position. Side-effect free: saving does not perturb the
+     * run. A simulator built from the identical SimConfig + workload
+     * spec that restores this blob continues bit-identically to the
+     * run that saved it.
+     */
+    void saveCheckpoint(std::string &out) const;
+
+    /** Inverse of saveCheckpoint; false leaves no guarantees about
+     *  partial state, so callers must treat failure as fatal for this
+     *  instance (checkpoint artifacts re-simulate on failure). */
+    bool restoreCheckpoint(serial::Reader &in);
+
     ClockSystem &clocks() { return clocks_; }
     const PowerAccountant &power() const { return power_; }
     MemoryHierarchy &memory() { return memory_; }
-    std::uint64_t committed() const { return committed_; }
-    Tick now() const { return now_; }
+    std::uint64_t committed() const { return state_.committed; }
+    Tick now() const { return state_.now; }
     const SimConfig &config() const { return config_; }
 
   private:
@@ -129,7 +175,7 @@ class Simulator
     DvfsModel dvfs_;
     ClockSystem clocks_;
     EnergyModel energy_model_;
-    PowerAccountant power_;
+    mutable PowerAccountant power_;
     MemoryHierarchy memory_;
     BranchPredictor bpred_;
 
@@ -137,70 +183,39 @@ class Simulator
     PhysRegFile fp_regs_;
     RenameMap rename_;
 
-    // Program-order window; references remain valid while entries live.
-    std::deque<Inst> window_;
-    std::uint64_t next_seq_ = 0;
-    std::deque<Inst *> rob_; //!< uncommitted instructions, oldest first
-    int rob_count_ = 0;
+    /** All mutable machine state (window ring, queues, counters). */
+    SimState state_;
 
-    std::vector<Inst *> int_iq_;
-    std::vector<Inst *> fp_iq_;
-    std::deque<Inst *> lsq_;
-    int lsq_live_ = 0;
-
-    std::vector<Inst *> int_exec_;
-    std::vector<Inst *> fp_exec_;
-    std::vector<Inst *> ls_exec_;
-
-    // Non-pipelined unit occupancy (divide/sqrt), in remaining cycles.
-    int int_div_busy_ = 0;
-    int fp_div_busy_ = 0;
-
-    int mshr_in_use_ = 0;
-
-    // Fetch state.
-    bool have_pending_op_ = false;
-    MicroOp pending_op_{};
-    std::uint64_t last_fetch_line_ = ~0ull;
-    Tick icache_stall_until_ = 0;
-    const Inst *stall_branch_ = nullptr; //!< mispredicted branch we wait on
-    Tick branch_resolve_time_ = MAX_TICK;
-    DomainId branch_resolve_domain_ = DomainId::Integer;
-    int redirect_penalty_left_ = 0;
-
-    // Global progress.
-    Tick now_ = 0;
-    std::uint64_t committed_ = 0;
-    std::uint64_t fe_cycles_ = 0;
-    std::uint64_t stop_at_ = ~0ull; //!< run() commit ceiling
-
-    // Measurement window (excludes warm-up once reset).
-    std::uint64_t meas_committed_base_ = 0;
-    std::uint64_t meas_fe_cycles_base_ = 0;
-    Tick meas_time_base_ = 0;
-
-    // Event counters.
-    Counter branches_;
-    Counter mispredicts_;
-    Counter loads_;
-    Counter stores_;
-
-    // Interval machinery.
-    std::uint64_t interval_index_ = 0;
-    std::uint64_t interval_start_insts_ = 0;
-    std::uint64_t interval_start_fe_cycles_ = 0;
-    Tick interval_start_time_ = 0;
-    NanoJoule interval_start_energy_ = 0.0;
-    struct DomainAccum
+    /**
+     * Pending energy charges, accumulated as integer counts and applied
+     * at the cached per-domain voltages on flush. Structure accesses
+     * are keyed by (structure, charging domain) because a few charges
+     * (result writeback) bill a structure at the producing domain's
+     * voltage rather than the structure's own.
+     */
+    struct PowerBatch
     {
-        double occupancySum = 0.0;
-        std::uint64_t cycles = 0;
-        std::uint64_t busyCycles = 0;
-        std::uint64_t issued = 0;
+        std::array<Hertz, NUM_CLOCKED_DOMAINS> freq{};
+        std::array<Volt, NUM_CLOCKED_DOMAINS> volt{};
+        std::array<std::uint64_t, NUM_CLOCKED_DOMAINS> cycles{};
+        std::array<std::array<std::uint64_t, NUM_CLOCKED_DOMAINS>,
+                   NUM_STRUCTURES>
+            accesses{};
+        std::uint64_t memAccesses = 0;
     };
-    std::array<DomainAccum, NUM_CONTROLLED> interval_accum_{};
-    double rob_occupancy_sum_ = 0.0; //!< per-FE-cycle, interval-local
+    mutable PowerBatch batch_;
+    bool power_per_op_ = false; //!< MCD_POWER_PEROP: flush every charge
+
     std::function<void(const IntervalStats &)> interval_observer_;
+
+    // --- energy batching ---
+    void flushPower() const;
+    void refreshBatchVoltages() const;
+    void syncBatchVoltages();
+    void chargeCycleB(DomainId domain);
+    void chargeAccessB(StructureId structure, DomainId domain,
+                       std::uint64_t count = 1);
+    void chargeMemB();
 
     // --- main loop ---
     void step();
@@ -220,7 +235,7 @@ class Simulator
     void handleIntervalBoundary(Tick edge);
 
     // Execution helpers.
-    void processCompletions(std::vector<Inst *> &exec_list,
+    void processCompletions(std::vector<std::uint64_t> &exec_list,
                             DomainId domain, Tick edge);
     void completeInst(Inst &inst, DomainId domain, Tick edge);
     void issueInteger(Tick edge);
@@ -235,7 +250,6 @@ class Simulator
     // Load/store helpers.
     bool olderStoreBlocks(const Inst &load, const Inst *&forward) const;
     void startDataAccess(Inst &inst, Tick edge, bool is_write);
-    void retireWindowHead();
 
     Volt voltage(DomainId domain) const;
     std::uint64_t lineOf(std::uint64_t addr) const;

@@ -37,7 +37,9 @@ namespace mcd
 /** Thresholds and windows of the regret computation. */
 struct RegretOptions
 {
-    /** Leading intervals to ignore (the warm-up prefix). */
+    /** Leading intervals to ignore. Since methodology v2 traces start
+     *  at the measurement boundary, the tournament passes 0; the knob
+     *  remains for ad-hoc analyses that trim a settling prefix. */
     std::size_t skipIntervals = 0;
 
     /** Oracle step, as a fraction of f_max, that counts as a flip. */

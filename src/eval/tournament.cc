@@ -41,12 +41,11 @@ scoreScenario(const std::string &scenario,
     std::vector<FrequencyVector> schedule =
         deriveSchedule(profile, dvfs, margins);
 
+    // Methodology v2: traces, profiles, and oracle schedules all start
+    // at the measurement boundary, so their indices align from 0 and
+    // regret skips nothing.
     RegretOptions regret = options.regret;
-    regret.skipIntervals = config.intervalInstructions > 0
-        ? static_cast<std::size_t>(
-              config.warmup / static_cast<std::uint64_t>(
-                                  config.intervalInstructions))
-        : 0;
+    regret.skipIntervals = 0;
 
     std::vector<TournamentCell> cells;
     for (const TournamentEntry &entry : options.controllers) {

@@ -63,7 +63,7 @@ std::string
 TraceSpec::cacheKey() const
 {
     std::string key;
-    serial::appendString(key, "eval_trace/1");
+    serial::appendString(key, "eval_trace/2");
     serial::appendString(key, benchmark);
     controller.appendTo(key);
     std::string sched;

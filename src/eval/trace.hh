@@ -13,9 +13,11 @@
  * from a warm store with zero simulations like every other experiment
  * product.
  *
- * Intervals are recorded from simulation start (warm-up included), so
- * trace index i aligns with profile index i and oracle-schedule index
- * i; regret computations (src/eval/regret.hh) skip the warm-up prefix.
+ * Intervals are recorded from the measurement boundary (methodology
+ * v2: the controller and observer engage after the uncontrolled
+ * warm-up, and interval numbering restarts there), so trace index i
+ * aligns directly with profile index i and oracle-schedule index i —
+ * no warm-up prefix to skip.
  */
 
 #ifndef MCD_EVAL_TRACE_HH
@@ -58,7 +60,9 @@ struct EvalTrace
 template <> struct ArtifactTraits<EvalTrace>
 {
     static constexpr const char *name = "eval_trace";
-    static constexpr std::uint64_t version = 1;
+    // v2: points cover the measured window only (post-warm-up
+    // engagement); v1 traces included the warm-up prefix.
+    static constexpr std::uint64_t version = 2;
     static void encodePayload(std::string &out, const EvalTrace &t);
     static bool decodePayload(serial::Reader &in, EvalTrace &t);
 };
@@ -82,7 +86,7 @@ struct TraceSpec
     std::vector<FrequencyVector> oracle; //!< per-interval schedule
     RunnerConfig config;
 
-    /** Exact artifact key (namespace "eval_trace/1"). */
+    /** Exact artifact key (namespace "eval_trace/2"). */
     std::string cacheKey() const;
 
     /** One-line human-readable description (provenance sidecars). */

@@ -417,13 +417,27 @@ DiskStore::prune(const PruneOptions &options)
         kept = std::move(young);
     }
 
-    // Size budget: evict oldest first until the store fits. Stems are
-    // the deterministic tiebreak for same-age files.
+    // Size budget: evict by descending (age+1) x bytes until the
+    // store fits. Pure age ordering starves small entries once bulky
+    // checkpoint blobs join the store — a few megabyte snapshots
+    // written five minutes ago would outlive hundreds of kilobyte
+    // stats entries written six — so cost is weighted by the bytes an
+    // eviction actually recovers: among same-age entries the largest
+    // go first, and a large entry must be proportionally younger than
+    // a small one to outrank it. Stems are the deterministic tiebreak
+    // for same-score files.
     if (options.maxBytes > 0) {
+        auto score = [](const Victim &v) {
+            return static_cast<double>(std::max<std::int64_t>(v.age, 0)
+                                       + 1) *
+                   static_cast<double>(v.bytes);
+        };
         std::sort(kept.begin(), kept.end(),
-                  [](const Victim &a, const Victim &b) {
-                      if (a.age != b.age)
-                          return a.age > b.age;
+                  [&score](const Victim &a, const Victim &b) {
+                      double sa = score(a);
+                      double sb = score(b);
+                      if (sa != sb)
+                          return sa > sb;
                       return a.stem < b.stem;
                   });
         std::uint64_t total = 0;

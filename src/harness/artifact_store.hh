@@ -182,9 +182,13 @@ class DiskStore : public ArtifactStore
 
     /**
      * Garbage-collect the store: sweep stale temp files, evict entries
-     * past the age limit, then evict oldest-first (last-write time,
-     * stem as the deterministic tiebreak) until the size budget holds.
-     * Sidecars follow their entries; orphaned sidecars are removed.
+     * past the age limit, then evict by descending (age+1) x bytes
+     * score (stem as the deterministic tiebreak) until the size budget
+     * holds. The size weighting keeps mixed-size stores fair: a bulky
+     * checkpoint entry is charged for the space it holds, so it cannot
+     * starve hundreds of slightly older small entries out of the
+     * budget. Sidecars follow their entries; orphaned sidecars are
+     * removed.
      * Safe against concurrent readers (they miss and heal) and
      * writers (atomic renames either land before the scan or after
      * it, never half-way).

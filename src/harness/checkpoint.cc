@@ -1,0 +1,93 @@
+#include "harness/checkpoint.hh"
+
+#include "common/logging.hh"
+
+namespace mcd
+{
+
+using serial::appendString;
+using serial::appendU64;
+
+void
+ArtifactTraits<SimCheckpoint>::encodePayload(std::string &out,
+                                             const SimCheckpoint &c)
+{
+    appendU64(out, c.atInstructions);
+    appendString(out, c.state);
+}
+
+bool
+ArtifactTraits<SimCheckpoint>::decodePayload(serial::Reader &in,
+                                             SimCheckpoint &c)
+{
+    c.atInstructions = in.readU64();
+    c.state = in.readString();
+    return in.ok();
+}
+
+std::string
+CheckpointSpec::cacheKey() const
+{
+    std::string key;
+    appendString(key, "checkpoint/1");
+    appendString(key, benchmark);
+    serial::appendI64(key, static_cast<std::int64_t>(mode));
+    serial::appendDouble(key, resolvedStartFreq());
+    appendU64(key, at);
+    config.appendTo(key);
+    return key;
+}
+
+std::string
+CheckpointSpec::describe() const
+{
+    return logging_detail::format(
+        "type=checkpoint benchmark=%s mode=%s start_freq=%g at=%llu "
+        "%s",
+        benchmark.c_str(), mode == ClockMode::Mcd ? "mcd" : "sync",
+        resolvedStartFreq(), static_cast<unsigned long long>(at),
+        config.describe().c_str());
+}
+
+SimCheckpoint
+CheckpointSpec::build(ArtifactCache &cache) const
+{
+    // The workload horizon must match the runner's exactly: scenario
+    // construction may derive layout from it, and the config (hence
+    // the horizon) is part of this spec's key.
+    auto workload = BenchmarkFactory::create(
+        benchmark, config.instructions + config.warmup);
+    SimConfig sim_config =
+        makeSimConfig(config, mode, resolvedStartFreq());
+    Simulator sim(sim_config, *workload, nullptr);
+
+    // Ladder: resume from the snapshot at the largest checkpointEvery
+    // multiple strictly below `at` (a nested artifact request, itself
+    // laddering down to a cold start). The intermediate stops are
+    // behavior-free, so the chain is bit-identical to one straight
+    // run.
+    std::uint64_t every = config.checkpointEvery;
+    std::uint64_t base = (every > 0 && at > 0)
+        ? (at - 1) / every * every : 0;
+    if (base > 0) {
+        CheckpointSpec parent = *this;
+        parent.at = base;
+        SimCheckpoint resume = cache.getOrRun(parent);
+        serial::Reader in(resume.state);
+        if (!sim.restoreCheckpoint(in))
+            mcd_panic("validated checkpoint artifact failed to "
+                      "restore");
+    }
+
+    std::uint64_t stepped_from = sim.committed();
+    sim.runTo(at);
+    cache.noteSimulation();
+    cache.noteInstructions(sim.committed() - stepped_from);
+
+    SimCheckpoint out;
+    out.atInstructions = sim.committed();
+    sim.saveCheckpoint(out.state);
+    return out;
+}
+
+} // namespace mcd

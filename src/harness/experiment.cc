@@ -306,6 +306,13 @@ ArtifactCache::noteSimulation()
     ++sims_;
 }
 
+void
+ArtifactCache::noteInstructions(std::uint64_t count)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    sim_insns_ += count;
+}
+
 SimStats
 ArtifactCache::getOrRun(const ExperimentSpec &spec)
 {
@@ -461,6 +468,13 @@ ArtifactCache::simulationsRun() const
     return sims_;
 }
 
+std::uint64_t
+ArtifactCache::simulatedInstructions() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sim_insns_;
+}
+
 std::size_t
 ArtifactCache::size() const
 {
@@ -505,6 +519,7 @@ ArtifactCache::clear()
     computes_ = 0;
     disk_hits_ = 0;
     sims_ = 0;
+    sim_insns_ = 0;
     inflight_joins_ = 0;
 }
 

@@ -225,6 +225,16 @@ class ArtifactCache
     void noteSimulation();
 
     /**
+     * Count `count` simulated (committed) instructions. The runner and
+     * checkpoint builders report how far each simulator actually
+     * stepped, so `simulatedInstructions()` measures the real
+     * simulation work a process performed — the counter the
+     * checkpoint-resume CI job asserts shrinks when a warm store
+     * fast-forwards runs past their warm-up.
+     */
+    void noteInstructions(std::uint64_t count);
+
+    /**
      * Attach the persistent layer rooted at `root` (created on
      * demand). No-op when `root` is empty or already attached. A
      * *different* root while one is attached is a hard error (fatal):
@@ -269,6 +279,9 @@ class ArtifactCache
 
     /** Actual simulations executed — the run counter. */
     std::uint64_t simulationsRun() const;
+
+    /** Committed instructions actually simulated (noteInstructions). */
+    std::uint64_t simulatedInstructions() const;
 
     /** Distinct artifacts in the memory layer. */
     std::size_t size() const;
@@ -334,6 +347,7 @@ class ArtifactCache
     std::uint64_t computes_ = 0;
     std::uint64_t disk_hits_ = 0;
     std::uint64_t sims_ = 0;
+    std::uint64_t sim_insns_ = 0;
     std::uint64_t inflight_joins_ = 0;
 };
 

@@ -8,6 +8,7 @@
 #include "common/env.hh"
 #include "common/logging.hh"
 #include "common/serial.hh"
+#include "harness/checkpoint.hh"
 #include "harness/experiment.hh"
 #include "harness/parallel_sweep.hh"
 
@@ -104,11 +105,19 @@ RunnerConfig::applyEnvOverrides()
     intervalInstructions = envInt("MCD_INTERVAL", intervalInstructions);
     jobs = envInt("MCD_JOBS", jobs);
     store = envString("MCD_STORE", store);
+    checkpointEvery = envU64("MCD_CHECKPOINT", checkpointEvery,
+                             /*min=*/0);
 }
 
 void
 RunnerConfig::appendTo(std::string &out) const
 {
+    // v2: warm-up runs uncontrolled; the controller and interval
+    // observer engage at the measurement boundary. Bumping the version
+    // retires every v1 artifact (measured under controller-driven
+    // warm-up) as a plain cache miss.
+    constexpr std::uint64_t METHODOLOGY_VERSION = 2;
+    appendU64(out, METHODOLOGY_VERSION);
     appendU64(out, instructions);
     appendU64(out, warmup);
     appendU64(out, clockSeed);
@@ -129,6 +138,22 @@ RunnerConfig::describe() const
         static_cast<unsigned long long>(clockSeed), jitter ? 1 : 0);
 }
 
+SimConfig
+makeSimConfig(const RunnerConfig &config, ClockMode mode,
+              Hertz start_freq)
+{
+    SimConfig sim_config;
+    sim_config.core = config.core;
+    sim_config.core.intervalInstructions = config.intervalInstructions;
+    sim_config.dvfs = config.dvfs;
+    sim_config.energy = config.energy;
+    sim_config.clocks.mode = mode;
+    sim_config.clocks.startFreq = start_freq;
+    sim_config.clocks.seed = config.clockSeed;
+    sim_config.clocks.jittered = config.jitter;
+    return sim_config;
+}
+
 Runner::Runner(const RunnerConfig &config)
     : config_(config)
 {
@@ -141,26 +166,43 @@ Runner::runWithOptionalController(
     std::function<void(const IntervalStats &)> observer)
 {
     auto workload = BenchmarkFactory::create(bench, horizon());
+    SimConfig sim_config = makeSimConfig(config_, mode, start_freq);
 
-    SimConfig sim_config;
-    sim_config.core = config_.core;
-    sim_config.core.intervalInstructions = config_.intervalInstructions;
-    sim_config.dvfs = config_.dvfs;
-    sim_config.energy = config_.energy;
-    sim_config.clocks.mode = mode;
-    sim_config.clocks.startFreq = start_freq;
-    sim_config.clocks.seed = config_.clockSeed;
-    sim_config.clocks.jittered = config_.jitter;
-
-    Simulator sim(sim_config, *workload, controller);
-    if (observer)
-        sim.setIntervalObserver(std::move(observer));
+    // Warm-up runs uncontrolled (methodology v2): the pre-measurement
+    // machine state is controller-independent, so a checkpoint of it
+    // fast-forwards every variant of this benchmark.
+    Simulator sim(sim_config, *workload, nullptr);
+    std::uint64_t stepped_from = 0;
 
     if (config_.warmup > 0) {
-        sim.run(config_.warmup);
+        if (config_.checkpointEvery > 0) {
+            // Resolve the warm-up prefix through the checkpoint
+            // artifact; by the run-composition contract the restored
+            // machine is bit-identical to having simulated it here.
+            CheckpointSpec spec;
+            spec.benchmark = bench;
+            spec.mode = mode;
+            spec.startFreq = start_freq;
+            spec.at = config_.warmup;
+            spec.config = config_;
+            SimCheckpoint ckpt =
+                ArtifactCache::instance().getOrRun(spec);
+            serial::Reader in(ckpt.state);
+            if (!sim.restoreCheckpoint(in))
+                mcd_panic("validated checkpoint artifact failed to "
+                          "restore");
+            stepped_from = sim.committed();
+        } else {
+            sim.run(config_.warmup);
+        }
         sim.resetMeasurement();
     }
+    sim.engageController(controller);
+    if (observer)
+        sim.setIntervalObserver(std::move(observer));
     sim.run(config_.instructions);
+    ArtifactCache::instance().noteInstructions(sim.committed() -
+                                               stepped_from);
     return sim.stats();
 }
 

@@ -69,22 +69,51 @@ struct RunnerConfig
      */
     std::string store;
 
+    /**
+     * Checkpoint ladder spacing in committed instructions (0 = off;
+     * `MCD_CHECKPOINT` / `mcd_cli --checkpoint-every`). When set, the
+     * uncontrolled warm-up prefix of every run resolves through a
+     * `CheckpointSpec` artifact (harness/checkpoint.hh): a warm store
+     * fast-forwards the machine to the warm-up point by deserializing
+     * a snapshot instead of re-simulating it, bit-identically to the
+     * cold run. Like `jobs` and `store`, excluded from cache keys —
+     * the run-composition contract makes results independent of where
+     * (or whether) a run was checkpointed; only the cost of producing
+     * them changes.
+     */
+    std::uint64_t checkpointEvery = 0;
+
     /** Apply MCD_INSNS / MCD_WARMUP / MCD_INTERVAL / MCD_JOBS /
-     *  MCD_STORE env overrides. */
+     *  MCD_STORE / MCD_CHECKPOINT env overrides. */
     void applyEnvOverrides();
 
     /**
      * Append the exact methodology+machine serialization every
-     * artifact cache key embeds (common/serial.hh byte layout).
-     * `jobs` and `store` are deliberately excluded: the determinism
-     * contract makes results worker-count independent, and the
-     * storage location never changes a value.
+     * artifact cache key embeds (common/serial.hh byte layout). The
+     * leading methodology version retires every cached artifact when
+     * the measurement procedure itself changes (v2: warm-up runs
+     * uncontrolled and the controller engages at the measurement
+     * boundary). `jobs`, `store`, and `checkpointEvery` are
+     * deliberately excluded: the determinism contract makes results
+     * worker-count independent, the storage location never changes a
+     * value, and checkpointing changes only the cost of a run, never
+     * its result.
      */
     void appendTo(std::string &out) const;
 
     /** One-line human-readable summary (provenance sidecars). */
     std::string describe() const;
 };
+
+/**
+ * The machine a RunnerConfig describes, assembled for one (mode,
+ * start-frequency) operating point. Single definition shared by the
+ * runner's execution path and the checkpoint builder
+ * (harness/checkpoint.cc) so a restored snapshot always meets the
+ * exact machine that produced it.
+ */
+SimConfig makeSimConfig(const RunnerConfig &config, ClockMode mode,
+                        Hertz start_freq);
 
 /** Result of an off-line Dynamic-X% search. */
 struct OfflineResult
@@ -121,6 +150,15 @@ class Runner
      * standard methodology with a registry-created (possibly null =
      * uncontrolled) controller. All variant methods and the
      * ExperimentSpec executor funnel through here.
+     *
+     * Methodology v2: the warm-up prefix always runs uncontrolled
+     * (domains at the start frequency); the controller and the
+     * interval observer engage at the measurement boundary, right
+     * after `resetMeasurement()`. The warm-up machine state is
+     * therefore a pure function of (benchmark, mode, start frequency,
+     * config) — shared by every controller — which is what lets
+     * `checkpointEvery` fast-forward all of a figure's variants from
+     * one stored snapshot.
      */
     SimStats runWithOptionalController(
         const std::string &bench, ClockMode mode, Hertz start_freq,

@@ -135,6 +135,41 @@ Cache::invalidate(std::uint64_t addr)
     }
 }
 
+void
+Cache::saveState(std::string &out) const
+{
+    serial::appendU64(out, lines_.size());
+    for (const Line &line : lines_) {
+        serial::appendU64(out, line.tag);
+        serial::appendU64(out, (line.valid ? 1u : 0u) |
+                                   (line.dirty ? 2u : 0u));
+        serial::appendU64(out, line.lruStamp);
+    }
+    serial::appendU64(out, lru_clock_);
+    serial::appendU64(out, hits_.value());
+    serial::appendU64(out, misses_.value());
+    serial::appendU64(out, writebacks_.value());
+}
+
+bool
+Cache::loadState(serial::Reader &in)
+{
+    if (in.readU64() != lines_.size())
+        return false;
+    for (Line &line : lines_) {
+        line.tag = in.readU64();
+        std::uint64_t flags = in.readU64();
+        line.valid = (flags & 1u) != 0;
+        line.dirty = (flags & 2u) != 0;
+        line.lruStamp = in.readU64();
+    }
+    lru_clock_ = in.readU64();
+    hits_.set(in.readU64());
+    misses_.set(in.readU64());
+    writebacks_.set(in.readU64());
+    return in.ok();
+}
+
 double
 Cache::missRate() const
 {

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/serial.hh"
 #include "common/stats.hh"
 
 namespace mcd
@@ -72,6 +73,12 @@ class Cache
     const Counter &writebacks() const { return writebacks_; }
 
     double missRate() const;
+
+    /** Serialize tags/LRU/counters (checkpointing). */
+    void saveState(std::string &out) const;
+
+    /** Inverse of saveState; false on size mismatch or short data. */
+    bool loadState(serial::Reader &in);
 
   private:
     struct Line

@@ -20,6 +20,39 @@ MainMemory::schedule(Tick now)
     return start + config_.accessLatency;
 }
 
+void
+MainMemory::saveState(std::string &out) const
+{
+    serial::appendI64(out, busy_until_);
+    serial::appendU64(out, transfers_);
+    serial::appendI64(out, queueing_);
+}
+
+bool
+MainMemory::loadState(serial::Reader &in)
+{
+    busy_until_ = in.readI64();
+    transfers_ = in.readU64();
+    queueing_ = in.readI64();
+    return in.ok();
+}
+
+void
+MemoryHierarchy::saveState(std::string &out) const
+{
+    l1i_.saveState(out);
+    l1d_.saveState(out);
+    l2_.saveState(out);
+    memory_.saveState(out);
+}
+
+bool
+MemoryHierarchy::loadState(serial::Reader &in)
+{
+    return l1i_.loadState(in) && l1d_.loadState(in) &&
+           l2_.loadState(in) && memory_.loadState(in);
+}
+
 MemoryHierarchy::MemoryHierarchy(const MemoryHierarchyConfig &config)
     : config_(config), l1i_(config.l1i), l1d_(config.l1d), l2_(config.l2),
       memory_(config.memory)

@@ -58,6 +58,12 @@ class MainMemory
     /** Total time requests waited behind the busy channel. */
     Tick queueingTime() const { return queueing_; }
 
+    /** Serialize channel occupancy and counters (checkpointing). */
+    void saveState(std::string &out) const;
+
+    /** Inverse of saveState; false on short data. */
+    bool loadState(serial::Reader &in);
+
   private:
     MainMemoryConfig config_;
     Tick busy_until_ = 0;
@@ -102,6 +108,12 @@ class MemoryHierarchy
     const Cache &l1d() const { return l1d_; }
     const Cache &l2() const { return l2_; }
     const MainMemory &memory() const { return memory_; }
+
+    /** Serialize all cache levels + main memory (checkpointing). */
+    void saveState(std::string &out) const;
+
+    /** Inverse of saveState; false on geometry mismatch. */
+    bool loadState(serial::Reader &in);
 
   private:
     MemoryHierarchyConfig config_;

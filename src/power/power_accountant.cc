@@ -11,11 +11,15 @@ PowerAccountant::PowerAccountant(const EnergyModel &model)
 }
 
 void
-PowerAccountant::chargeCycle(DomainId domain, Volt v)
+PowerAccountant::chargeCycle(DomainId domain, Volt v,
+                             std::uint64_t count)
 {
+    if (count == 0)
+        return;
     double scale = model_->voltageScale(v);
     domain_base_[static_cast<std::size_t>(domainIndex(domain))] +=
-        model_->domainCycleBase(domain) * scale;
+        model_->domainCycleBase(domain) * scale *
+        static_cast<double>(count);
 }
 
 void
@@ -33,9 +37,10 @@ PowerAccountant::chargeAccess(StructureId structure, Volt v,
 }
 
 void
-PowerAccountant::chargeMemoryAccess()
+PowerAccountant::chargeMemoryAccess(std::uint64_t count)
 {
-    external_ += model_->config().mainMemoryAccess;
+    external_ += model_->config().mainMemoryAccess *
+                 static_cast<double>(count);
 }
 
 NanoJoule
@@ -70,6 +75,31 @@ PowerAccountant::domainBaseEnergy(DomainId domain) const
     if (domain == DomainId::External)
         return 0.0;
     return domain_base_[static_cast<std::size_t>(domainIndex(domain))];
+}
+
+void
+PowerAccountant::saveState(std::string &out) const
+{
+    for (NanoJoule e : domain_access_)
+        serial::appendDouble(out, e);
+    for (NanoJoule e : domain_base_)
+        serial::appendDouble(out, e);
+    for (NanoJoule e : structure_)
+        serial::appendDouble(out, e);
+    serial::appendDouble(out, external_);
+}
+
+bool
+PowerAccountant::loadState(serial::Reader &in)
+{
+    for (NanoJoule &e : domain_access_)
+        e = in.readDouble();
+    for (NanoJoule &e : domain_base_)
+        e = in.readDouble();
+    for (NanoJoule &e : structure_)
+        e = in.readDouble();
+    external_ = in.readDouble();
+    return in.ok();
 }
 
 void

@@ -14,6 +14,7 @@
 #include <array>
 #include <cstdint>
 
+#include "common/serial.hh"
 #include "power/energy_model.hh"
 
 namespace mcd
@@ -25,15 +26,15 @@ class PowerAccountant
   public:
     explicit PowerAccountant(const EnergyModel &model);
 
-    /** Charge one cycle of domain base energy at voltage v. */
-    void chargeCycle(DomainId domain, Volt v);
+    /** Charge `count` cycles of domain base energy at voltage v. */
+    void chargeCycle(DomainId domain, Volt v, std::uint64_t count = 1);
 
     /** Charge `count` accesses of the structure at voltage v. */
     void chargeAccess(StructureId structure, Volt v,
                       std::uint64_t count = 1);
 
-    /** Charge one off-chip main-memory access. */
-    void chargeMemoryAccess();
+    /** Charge `count` off-chip main-memory accesses. */
+    void chargeMemoryAccess(std::uint64_t count = 1);
 
     /** Total on-chip energy (all clocked domains). */
     NanoJoule chipEnergy() const;
@@ -53,6 +54,12 @@ class PowerAccountant
     const EnergyModel &model() const { return *model_; }
 
     void reset();
+
+    /** Serialize accumulators as raw IEEE-754 bits (checkpointing). */
+    void saveState(std::string &out) const;
+
+    /** Inverse of saveState; false on short data. */
+    bool loadState(serial::Reader &in);
 
   private:
     const EnergyModel *model_;

@@ -24,6 +24,27 @@ pcIndex(std::uint64_t pc)
     return pc >> 2;
 }
 
+/** Byte-table serialization shared by the counter arrays. */
+template <typename T>
+void
+saveTable(std::string &out, const std::vector<T> &table)
+{
+    serial::appendU64(out, table.size());
+    for (T v : table)
+        serial::appendU64(out, static_cast<std::uint64_t>(v));
+}
+
+template <typename T>
+bool
+loadTable(serial::Reader &in, std::vector<T> &table)
+{
+    if (in.readU64() != table.size())
+        return false;
+    for (T &v : table)
+        v = static_cast<T>(in.readU64());
+    return in.ok();
+}
+
 } // namespace
 
 BimodalPredictor::BimodalPredictor(int entries)
@@ -193,6 +214,111 @@ Ras::pop()
            static_cast<int>(stack_.size());
     --size_;
     return stack_[static_cast<std::size_t>(top_)];
+}
+
+void
+BimodalPredictor::saveState(std::string &out) const
+{
+    saveTable(out, counters_);
+}
+
+bool
+BimodalPredictor::loadState(serial::Reader &in)
+{
+    return loadTable(in, counters_);
+}
+
+void
+TwoLevelPredictor::saveState(std::string &out) const
+{
+    saveTable(out, history_);
+    saveTable(out, pht_);
+}
+
+bool
+TwoLevelPredictor::loadState(serial::Reader &in)
+{
+    return loadTable(in, history_) && loadTable(in, pht_);
+}
+
+void
+CombiningPredictor::saveState(std::string &out) const
+{
+    bimodal_.saveState(out);
+    two_level_.saveState(out);
+    saveTable(out, chooser_);
+}
+
+bool
+CombiningPredictor::loadState(serial::Reader &in)
+{
+    return bimodal_.loadState(in) && two_level_.loadState(in) &&
+           loadTable(in, chooser_);
+}
+
+void
+Btb::saveState(std::string &out) const
+{
+    serial::appendU64(out, entries_.size());
+    for (const Entry &entry : entries_) {
+        serial::appendU64(out, entry.tag);
+        serial::appendU64(out, entry.target);
+        serial::appendU64(out, entry.valid ? 1 : 0);
+        serial::appendU64(out, entry.lruStamp);
+    }
+    serial::appendU64(out, lru_clock_);
+}
+
+bool
+Btb::loadState(serial::Reader &in)
+{
+    if (in.readU64() != entries_.size())
+        return false;
+    for (Entry &entry : entries_) {
+        entry.tag = in.readU64();
+        entry.target = in.readU64();
+        entry.valid = in.readU64() != 0;
+        entry.lruStamp = in.readU64();
+    }
+    lru_clock_ = in.readU64();
+    return in.ok();
+}
+
+void
+Ras::saveState(std::string &out) const
+{
+    saveTable(out, stack_);
+    serial::appendI64(out, top_);
+    serial::appendI64(out, size_);
+}
+
+bool
+Ras::loadState(serial::Reader &in)
+{
+    if (!loadTable(in, stack_))
+        return false;
+    top_ = static_cast<int>(in.readI64());
+    size_ = static_cast<int>(in.readI64());
+    return in.ok();
+}
+
+void
+BranchPredictor::saveState(std::string &out) const
+{
+    direction_.saveState(out);
+    btb_.saveState(out);
+    ras_.saveState(out);
+    serial::appendU64(out, lookups_.value());
+}
+
+bool
+BranchPredictor::loadState(serial::Reader &in)
+{
+    if (!direction_.loadState(in) || !btb_.loadState(in) ||
+        !ras_.loadState(in))
+        return false;
+    lookups_.set(in.readU64());
+    return in.ok();
 }
 
 BranchPredictor::BranchPredictor() = default;

@@ -15,6 +15,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/serial.hh"
 #include "common/stats.hh"
 
 namespace mcd
@@ -45,6 +46,9 @@ class BimodalPredictor
     bool predict(std::uint64_t pc) const;
     void update(std::uint64_t pc, bool taken);
 
+    void saveState(std::string &out) const;
+    bool loadState(serial::Reader &in);
+
   private:
     std::vector<std::uint8_t> counters_;
     std::uint64_t mask_;
@@ -59,6 +63,9 @@ class TwoLevelPredictor
 
     bool predict(std::uint64_t pc) const;
     void update(std::uint64_t pc, bool taken);
+
+    void saveState(std::string &out) const;
+    bool loadState(serial::Reader &in);
 
   private:
     std::vector<std::uint16_t> history_;
@@ -82,6 +89,9 @@ class CombiningPredictor
     bool predict(std::uint64_t pc) const;
     void update(std::uint64_t pc, bool taken);
 
+    void saveState(std::string &out) const;
+    bool loadState(serial::Reader &in);
+
   private:
     BimodalPredictor bimodal_;
     TwoLevelPredictor two_level_;
@@ -100,6 +110,9 @@ class Btb
 
     /** Install/refresh the target for a taken branch. */
     void update(std::uint64_t pc, std::uint64_t target);
+
+    void saveState(std::string &out) const;
+    bool loadState(serial::Reader &in);
 
   private:
     struct Entry
@@ -127,6 +140,9 @@ class Ras
     void push(std::uint64_t return_pc);
     std::optional<std::uint64_t> pop();
     bool empty() const { return size_ == 0; }
+
+    void saveState(std::string &out) const;
+    bool loadState(serial::Reader &in);
 
   private:
     std::vector<std::uint64_t> stack_;
@@ -163,6 +179,12 @@ class BranchPredictor
                 bool is_call, bool is_return);
 
     const Counter &lookups() const { return lookups_; }
+
+    /** Serialize every predictor table (checkpointing). */
+    void saveState(std::string &out) const;
+
+    /** Inverse of saveState; false on table-size mismatch. */
+    bool loadState(serial::Reader &in);
 
   private:
     CombiningPredictor direction_;

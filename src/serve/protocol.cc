@@ -178,6 +178,8 @@ cacheStatsJson(const ArtifactCache &cache)
     out += ", \"hits\": " + json::u64(cache.hits());
     out += ", \"disk_hits\": " + json::u64(cache.diskHits());
     out += ", \"simulations\": " + json::u64(cache.simulationsRun());
+    out += ", \"simulated_instructions\": " +
+           json::u64(cache.simulatedInstructions());
     out += ", \"inflight_joins\": " + json::u64(cache.inflightJoins());
     out += ", \"memory_entries\": " +
            json::u64(static_cast<std::uint64_t>(cache.size()));

@@ -1,6 +1,7 @@
 #include "workload/workload.hh"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "common/logging.hh"
@@ -497,6 +498,167 @@ SyntheticProgram::emitBodyOp()
     return op;
 }
 
+void
+SyntheticProgram::saveState(std::string &out) const
+{
+    for (std::uint64_t w : rng_.state())
+        serial::appendU64(out, w);
+    serial::appendU64(out, instructions_);
+    serial::appendI64(out, phase_index_);
+
+    // The phase layout (streams_, region_base_, bodies_) is rebuilt with
+    // fresh RNG draws on every enterPhase(), so it must be serialized
+    // verbatim: a restore cannot re-enter the phase without consuming
+    // different random numbers than the original run did.
+    serial::appendU64(out, streams_.size());
+    for (const StreamState &s : streams_) {
+        serial::appendU64(out, s.base);
+        serial::appendU64(out, s.size);
+        serial::appendU64(out, s.pos);
+        serial::appendI64(out, s.stride);
+        serial::appendU64(out, s.chase ? 1 : 0);
+        serial::appendU64(out, s.fp ? 1 : 0);
+    }
+    serial::appendU64(out, region_base_.size());
+    for (std::uint64_t b : region_base_)
+        serial::appendU64(out, b);
+    serial::appendU64(out, bodies_.size());
+    for (const std::vector<StaticOp> &body : bodies_) {
+        serial::appendU64(out, body.size());
+        for (const StaticOp &sop : body) {
+            serial::appendI64(out, static_cast<int>(sop.cls));
+            serial::appendI64(out, sop.stream);
+            serial::appendU64(out, sop.noisyBranch ? 1 : 0);
+            serial::appendU64(out, sop.fixedTaken ? 1 : 0);
+            serial::appendDouble(out, sop.takenBias);
+            serial::appendI64(out, sop.skipCount);
+        }
+    }
+    serial::appendU64(out, region_stride_);
+
+    serial::appendI64(out, region_);
+    serial::appendI64(out, body_index_);
+    serial::appendU64(out, iterations_left_);
+    serial::appendU64(out, iteration_);
+    serial::appendU64(out, at_region_jump_ ? 1 : 0);
+
+    serial::appendI64(out, sub_ops_left_);
+    serial::appendU64(out, sub_pc_);
+    serial::appendU64(out, sub_return_to_);
+
+    serial::appendI64(out, int_reg_rr_);
+    serial::appendI64(out, fp_reg_rr_);
+    serial::appendU64(out, recent_int_.size());
+    for (int r : recent_int_)
+        serial::appendI64(out, r);
+    serial::appendU64(out, recent_fp_.size());
+    for (int r : recent_fp_)
+        serial::appendI64(out, r);
+    serial::appendI64(out, last_int_dst_);
+    serial::appendI64(out, last_chase_dst_);
+}
+
+bool
+SyntheticProgram::loadState(serial::Reader &in)
+{
+    std::array<std::uint64_t, 4> rng_state{};
+    for (std::uint64_t &w : rng_state)
+        w = in.readU64();
+    std::uint64_t instructions = in.readU64();
+    int phase_index = static_cast<int>(in.readI64());
+
+    std::uint64_t n_streams = in.readU64();
+    if (!in.ok() || n_streams > (1u << 20))
+        return false;
+    std::vector<StreamState> streams(n_streams);
+    for (StreamState &s : streams) {
+        s.base = in.readU64();
+        s.size = in.readU64();
+        s.pos = in.readU64();
+        s.stride = in.readI64();
+        s.chase = in.readU64() != 0;
+        s.fp = in.readU64() != 0;
+    }
+    std::uint64_t n_bases = in.readU64();
+    if (!in.ok() || n_bases > (1u << 20))
+        return false;
+    std::vector<std::uint64_t> region_base(n_bases);
+    for (std::uint64_t &b : region_base)
+        b = in.readU64();
+    std::uint64_t n_bodies = in.readU64();
+    if (!in.ok() || n_bodies > (1u << 20))
+        return false;
+    std::vector<std::vector<StaticOp>> bodies(n_bodies);
+    for (std::vector<StaticOp> &body : bodies) {
+        std::uint64_t n_ops = in.readU64();
+        if (!in.ok() || n_ops > (1u << 20))
+            return false;
+        body.resize(n_ops);
+        for (StaticOp &sop : body) {
+            sop.cls = static_cast<OpClass>(in.readI64());
+            sop.stream = static_cast<int>(in.readI64());
+            sop.noisyBranch = in.readU64() != 0;
+            sop.fixedTaken = in.readU64() != 0;
+            sop.takenBias = in.readDouble();
+            sop.skipCount = static_cast<int>(in.readI64());
+        }
+    }
+    std::uint64_t region_stride = in.readU64();
+
+    int region = static_cast<int>(in.readI64());
+    int body_index = static_cast<int>(in.readI64());
+    std::uint64_t iterations_left = in.readU64();
+    std::uint64_t iteration = in.readU64();
+    bool at_region_jump = in.readU64() != 0;
+
+    int sub_ops_left = static_cast<int>(in.readI64());
+    std::uint64_t sub_pc = in.readU64();
+    std::uint64_t sub_return_to = in.readU64();
+
+    int int_reg_rr = static_cast<int>(in.readI64());
+    int fp_reg_rr = static_cast<int>(in.readI64());
+    std::uint64_t n_recent_int = in.readU64();
+    if (!in.ok() || n_recent_int > (1u << 20))
+        return false;
+    std::vector<int> recent_int(n_recent_int);
+    for (int &r : recent_int)
+        r = static_cast<int>(in.readI64());
+    std::uint64_t n_recent_fp = in.readU64();
+    if (!in.ok() || n_recent_fp > (1u << 20))
+        return false;
+    std::vector<int> recent_fp(n_recent_fp);
+    for (int &r : recent_fp)
+        r = static_cast<int>(in.readI64());
+    int last_int_dst = static_cast<int>(in.readI64());
+    int last_chase_dst = static_cast<int>(in.readI64());
+
+    if (!in.ok())
+        return false;
+
+    rng_.setState(rng_state);
+    instructions_ = instructions;
+    phase_index_ = phase_index;
+    streams_ = std::move(streams);
+    region_base_ = std::move(region_base);
+    bodies_ = std::move(bodies);
+    region_stride_ = region_stride;
+    region_ = region;
+    body_index_ = body_index;
+    iterations_left_ = iterations_left;
+    iteration_ = iteration;
+    at_region_jump_ = at_region_jump;
+    sub_ops_left_ = sub_ops_left;
+    sub_pc_ = sub_pc;
+    sub_return_to_ = sub_return_to;
+    int_reg_rr_ = int_reg_rr;
+    fp_reg_rr_ = fp_reg_rr;
+    recent_int_ = std::move(recent_int);
+    recent_fp_ = std::move(recent_fp);
+    last_int_dst_ = last_int_dst;
+    last_chase_dst_ = last_chase_dst;
+    return true;
+}
+
 TraceWorkload::TraceWorkload(std::string name, std::vector<MicroOp> ops)
     : name_(std::move(name)), ops_(std::move(ops))
 {
@@ -510,6 +672,22 @@ TraceWorkload::next()
     MicroOp op = ops_[index_];
     index_ = (index_ + 1) % ops_.size();
     return op;
+}
+
+void
+TraceWorkload::saveState(std::string &out) const
+{
+    serial::appendU64(out, index_);
+}
+
+bool
+TraceWorkload::loadState(serial::Reader &in)
+{
+    std::uint64_t index = in.readU64();
+    if (!in.ok() || index >= ops_.size())
+        return false;
+    index_ = static_cast<std::size_t>(index);
+    return true;
 }
 
 } // namespace mcd

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/random.hh"
+#include "common/serial.hh"
 #include "workload/micro_op.hh"
 
 namespace mcd
@@ -30,6 +31,17 @@ class WorkloadGenerator
 
     /** Workload name for reporting. */
     virtual const std::string &name() const = 0;
+
+    /**
+     * Serialize the generator position (checkpointing). Restoring the
+     * saved bytes into a generator built from the identical spec +
+     * horizon must reproduce the remaining op stream bit-for-bit.
+     * Stateless generators may keep the no-op defaults.
+     */
+    virtual void saveState(std::string &out) const { (void)out; }
+
+    /** Inverse of saveState; false on malformed data. */
+    virtual bool loadState(serial::Reader &in) { return in.ok(); }
 };
 
 /**
@@ -107,6 +119,9 @@ class SyntheticProgram : public WorkloadGenerator
 
     MicroOp next() override;
     const std::string &name() const override { return spec_.name; }
+
+    void saveState(std::string &out) const override;
+    bool loadState(serial::Reader &in) override;
 
     /** Index of the phase the generator is currently in. */
     int currentPhase() const { return phase_index_; }
@@ -193,6 +208,9 @@ class TraceWorkload : public WorkloadGenerator
 
     MicroOp next() override;
     const std::string &name() const override { return name_; }
+
+    void saveState(std::string &out) const override;
+    bool loadState(serial::Reader &in) override;
 
   private:
     std::string name_;

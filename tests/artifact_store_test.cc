@@ -256,8 +256,9 @@ TEST_F(StoreTest, TempOrphansAreInvisibleAndSwept)
     EXPECT_EQ(blob, "payload");
 }
 
-TEST_F(StoreTest, PruneEvictsByAgeThenOldestFirstToTheByteBudget)
+TEST_F(StoreTest, PruneEvictsByAgeThenByScoreToTheByteBudget)
 {
+    // Equal sizes: the (age+1) x bytes score reduces to oldest-first.
     DiskStore store(root_);
     store.put("key-a", std::string(100, 'a'), "name=a");
     store.put("key-b", std::string(100, 'b'), "name=b");
@@ -289,6 +290,44 @@ TEST_F(StoreTest, PruneEvictsByAgeThenOldestFirstToTheByteBudget)
     ASSERT_TRUE(store.get("key-c", blob));
     EXPECT_EQ(blob, std::string(100, 'c'));
     EXPECT_LE(store.bytes(), by_size.maxBytes);
+}
+
+TEST_F(StoreTest, PruneSizeBudgetDoesNotStarveSmallEntries)
+{
+    // A mixed-size store: one bulky checkpoint-sized entry written
+    // moments ago next to several small, slightly older stats
+    // entries. Under pure oldest-first eviction the small entries
+    // would all die before the big one is even considered; the
+    // (age+1) x bytes score charges the big entry for the space it
+    // holds, so the budget is met by evicting it and every small
+    // entry survives.
+    DiskStore store(root_);
+    const int SMALL = 6;
+    std::uint64_t small_bytes = 0;
+    for (int i = 0; i < SMALL; ++i) {
+        std::string key = "small-" + std::to_string(i);
+        store.put(key, std::string(200, static_cast<char>('a' + i)));
+        // Slightly older, but tiny: (60+1) x ~300 B stays far below
+        // the big entry's 1 x 64 KiB score.
+        ageFile(store.pathFor(key), 60);
+    }
+    small_bytes = store.bytes();
+    store.put("big-checkpoint", std::string(64 * 1024, 'C'));
+    ASSERT_GT(store.bytes(), small_bytes);
+
+    DiskStore::PruneOptions options;
+    options.maxBytes = small_bytes; // the small set alone fits
+    DiskStore::PruneReport report = store.prune(options);
+
+    EXPECT_EQ(report.entriesRemoved, 1u);
+    EXPECT_EQ(report.entriesKept, static_cast<std::size_t>(SMALL));
+    std::string blob;
+    EXPECT_FALSE(store.get("big-checkpoint", blob));
+    for (int i = 0; i < SMALL; ++i) {
+        ASSERT_TRUE(store.get("small-" + std::to_string(i), blob));
+        EXPECT_EQ(blob.size(), 200u);
+    }
+    EXPECT_LE(store.bytes(), options.maxBytes);
 }
 
 TEST_F(StoreTest, ConcurrentPruneRacingPutMissesAndHealsOnly)

@@ -166,14 +166,41 @@ serialChainTrace(int length)
 // Simulator integration
 // --------------------------------------------------------------------
 
-TEST(Simulator, CommitsExactlyTheRequestedInstructions)
+// Stopping is behavior-free: a run commits at least the requested
+// count and may overshoot by the tail of one retire group, so that
+// run(a); run(b) executes the identical step sequence as run(a + b)
+// (the checkpoint fast-forward contract relies on this).
+TEST(Simulator, CommitsAtLeastTheRequestedInstructions)
 {
+    SimConfig config = fastConfig();
+    auto width = static_cast<std::uint64_t>(config.core.retireWidth);
     auto workload = BenchmarkFactory::create("gsm", 100000);
-    Simulator sim(fastConfig(), *workload);
+    Simulator sim(config, *workload);
     sim.run(5000);
-    EXPECT_EQ(sim.committed(), 5000u);
+    EXPECT_GE(sim.committed(), 5000u);
+    EXPECT_LT(sim.committed(), 5000u + width);
+    std::uint64_t after_first = sim.committed();
     sim.run(2500);
-    EXPECT_EQ(sim.committed(), 7500u);
+    EXPECT_GE(sim.committed(), after_first + 2500u);
+    EXPECT_LT(sim.committed(), after_first + 2500u + width);
+}
+
+TEST(Simulator, SplitRunsComposeExactly)
+{
+    auto run_split = [](std::uint64_t first) {
+        auto workload = BenchmarkFactory::create("gsm", 100000);
+        Simulator sim(fastConfig(), *workload);
+        sim.runTo(first);
+        sim.runTo(12000);
+        return sim.stats();
+    };
+    SimStats straight = run_split(0);
+    SimStats split = run_split(7000);
+    EXPECT_EQ(straight.instructions, split.instructions);
+    EXPECT_EQ(straight.feCycles, split.feCycles);
+    EXPECT_EQ(straight.time, split.time);
+    EXPECT_DOUBLE_EQ(straight.chipEnergy, split.chipEnergy);
+    EXPECT_EQ(straight.mispredicts, split.mispredicts);
 }
 
 TEST(Simulator, TimeAndEnergyAdvance)
@@ -406,7 +433,10 @@ TEST(Simulator, ResetMeasurementExcludesWarmup)
     EXPECT_EQ(sim.stats().instructions, 0u);
     EXPECT_DOUBLE_EQ(sim.stats().chipEnergy, 0.0);
     sim.run(5000);
-    EXPECT_EQ(sim.stats().instructions, 5000u);
+    EXPECT_GE(sim.stats().instructions, 5000u);
+    EXPECT_LT(sim.stats().instructions,
+              5000u + static_cast<std::uint64_t>(
+                          fastConfig().core.retireWidth));
     EXPECT_GT(sim.stats().chipEnergy, 0.0);
 }
 
@@ -569,7 +599,9 @@ TEST(Simulator, DumpStatsIsComplete)
     sim.run(10000);
     StatDump dump;
     sim.dumpStats(dump);
-    EXPECT_DOUBLE_EQ(dump.get("run.instructions"), 10000.0);
+    EXPECT_GE(dump.get("run.instructions"), 10000.0);
+    EXPECT_LT(dump.get("run.instructions"),
+              10000.0 + fastConfig().core.retireWidth);
     EXPECT_GT(dump.get("run.cpi"), 0.0);
     EXPECT_GT(dump.get("run.chip_energy_nj"), 0.0);
     EXPECT_GT(dump.get("bpred.accuracy"), 0.5);
@@ -605,7 +637,10 @@ TEST_P(BenchmarkSanity, RunsWithPlausibleStatistics)
     Simulator sim(fastConfig(), *workload);
     sim.run(20000);
     SimStats stats = sim.stats();
-    EXPECT_EQ(stats.instructions, 20000u);
+    EXPECT_GE(stats.instructions, 20000u);
+    EXPECT_LT(stats.instructions,
+              20000u + static_cast<std::uint64_t>(
+                           fastConfig().core.retireWidth));
     EXPECT_GT(stats.cpi, 0.25); // cannot beat 4-wide fetch
     EXPECT_LT(stats.cpi, 60.0);
     EXPECT_GT(stats.epi, 0.5);

@@ -98,7 +98,10 @@ TEST_P(MixedFrequencySweep, HeterogeneousDomainsStayCorrect)
     Simulator sim(config, *workload, &controller);
     sim.run(15000);
     SimStats stats = sim.stats();
-    EXPECT_EQ(stats.instructions, 15000u);
+    EXPECT_GE(stats.instructions, 15000u);
+    EXPECT_LT(stats.instructions,
+              15000u + static_cast<std::uint64_t>(
+                           config.core.retireWidth));
     EXPECT_GT(stats.cpi, 0.25);
     EXPECT_LT(stats.cpi, 80.0);
     EXPECT_GT(stats.chipEnergy, 0.0);
@@ -181,7 +184,10 @@ TEST(Gals, JitterChangesTimingButNotCorrectness)
 {
     SimStats with_jitter = runWith(0.30, true, ClockMode::Mcd);
     SimStats without = runWith(0.30, false, ClockMode::Mcd);
-    EXPECT_EQ(with_jitter.instructions, without.instructions);
+    // Commit counts agree up to the retire-group overshoot, which can
+    // differ when jitter shifts the final commit grouping.
+    EXPECT_NEAR(static_cast<double>(with_jitter.instructions),
+                static_cast<double>(without.instructions), 12.0);
     EXPECT_NE(with_jitter.time, without.time);
     // Jitter wiggles unlucky phase alignments in and out of the
     // window; total time stays within a few percent.

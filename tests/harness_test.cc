@@ -141,8 +141,10 @@ TEST(Runner, BaselineProfilesEveryMeasuredInterval)
     Runner runner(tinyConfig());
     std::vector<IntervalProfile> profile;
     runner.runMcdBaseline("gsm", &profile);
-    // (warmup + measured) / interval boundaries observed.
-    EXPECT_GE(profile.size(), 45u);
+    // Methodology v2: the observer engages at the measurement
+    // boundary, so only measured / interval boundaries are recorded.
+    EXPECT_GE(profile.size(), 40u);
+    EXPECT_LE(profile.size(), 41u);
     for (const auto &p : profile) {
         EXPECT_EQ(p.instructions, 500u);
         EXPECT_GT(p.cycles[CTL_INT], 0u);
