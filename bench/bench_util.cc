@@ -147,26 +147,10 @@ printMethodology(const RunnerConfig &config)
 void
 reportStoreStats()
 {
-    ArtifactCache &cache = ArtifactCache::instance();
-    std::string root = cache.storeRoot();
-    std::fprintf(stderr,
-                 "store: lookups=%llu hits=%llu disk_hits=%llu "
-                 "simulations=%llu instructions=%llu",
-                 static_cast<unsigned long long>(cache.lookups()),
-                 static_cast<unsigned long long>(cache.hits()),
-                 static_cast<unsigned long long>(cache.diskHits()),
-                 static_cast<unsigned long long>(
-                     cache.simulationsRun()),
-                 static_cast<unsigned long long>(
-                     cache.simulatedInstructions()));
-    if (!root.empty())
-        std::fprintf(stderr, " disk_entries=%zu disk_bytes=%llu "
-                             "root=%s",
-                     cache.diskEntries(),
-                     static_cast<unsigned long long>(
-                         cache.diskBytes()),
-                     root.c_str());
-    std::fputc('\n', stderr);
+    // One renderer for every `store:` line in the repo (fleet workers
+    // parse this exact format from worker stderr).
+    std::fprintf(stderr, "%s\n",
+                 storeStatsLine(ArtifactCache::instance()).c_str());
 }
 
 } // namespace mcd::bench

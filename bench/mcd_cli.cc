@@ -38,6 +38,7 @@
 #include <atomic>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -62,6 +63,8 @@
 #include "harness/table.hh"
 #include "serve/client.hh"
 #include "serve/server.hh"
+#include "telemetry/profiler.hh"
+#include "telemetry/stat_registry.hh"
 #include "workload/scenario_registry.hh"
 
 using namespace mcd;
@@ -574,6 +577,148 @@ runExperimentsCli(const std::vector<std::string> &benches,
     return 0;
 }
 
+// ----------------------------------------------------------- profile
+
+/**
+ * `mcd_cli profile <scenario>`: run one experiment with the phase
+ * profiler enabled and report where the wall-clock time went. Phases
+ * nest (sim.commit includes sim.interval, and the issue/wakeup stages
+ * run inside the per-cycle loop the commit timer brackets), so the
+ * shares are a hierarchy, not a partition — they need not sum to 100%.
+ * The store is deliberately detached: profiling a cache hit would
+ * measure deserialization, not the simulator.
+ */
+int
+profileCli(const std::vector<std::string> &args)
+{
+    std::string bench;
+    ControllerSpec controller; // "none"
+    bool json = false;
+
+    auto value = [&](std::size_t &i) -> std::string {
+        if (i + 1 >= args.size())
+            mcd_fatal("option '%s' needs a value", args[i].c_str());
+        return args[++i];
+    };
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--controller") {
+            controller = parseControllerSpec(value(i));
+        } else if (arg == "--json") {
+            json = true;
+        } else if (!arg.empty() && arg[0] != '-') {
+            if (!bench.empty())
+                mcd_fatal("profile takes one scenario, got '%s' and "
+                          "'%s'", bench.c_str(), arg.c_str());
+            bench = arg;
+        } else {
+            mcd_fatal("profile: unknown argument '%s'", arg.c_str());
+        }
+    }
+    if (bench.empty())
+        mcd_fatal("profile needs a scenario "
+                  "(e.g. mcd_cli profile gsm)");
+    if (!ScenarioRegistry::instance().contains(bench))
+        mcd_fatal("unknown scenario '%s' (try: mcd_cli list)",
+                  bench.c_str());
+
+    RunnerConfig config = standardConfig();
+    config.store.clear(); // always simulate; never profile a disk hit
+
+    telemetry::setProfiling(true);
+    telemetry::resetPhaseHistograms();
+
+    ExperimentSpec spec = makeSpec(config, bench, controller);
+    auto wall_start = std::chrono::steady_clock::now();
+    SimStats stats = ArtifactCache::instance().getOrRun(spec);
+    auto wall_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count());
+
+    struct PhaseRow
+    {
+        const char *name;
+        telemetry::HistogramData data;
+    };
+    std::vector<PhaseRow> rows;
+    for (int p = 0; p < telemetry::NUM_PHASES; ++p) {
+        auto phase = static_cast<telemetry::Phase>(p);
+        telemetry::HistogramData data =
+            telemetry::phaseHistogram(phase).read();
+        if (data.count == 0)
+            continue;
+        rows.push_back({telemetry::phaseName(phase), data});
+    }
+    // Hot-first: the biggest total at the top.
+    std::sort(rows.begin(), rows.end(),
+              [](const PhaseRow &a, const PhaseRow &b) {
+                  return a.data.sum > b.data.sum;
+              });
+
+    if (json) {
+        std::string out = "{\n  \"profile\": {\n";
+        out += "    \"scenario\": " + json::str(bench) + ",\n";
+        out += "    \"controller\": " + json::str(controller.name) +
+               ",\n";
+        out += "    \"instructions\": " + json::u64(stats.instructions) +
+               ",\n";
+        out += "    \"wall_ns\": " + json::u64(wall_ns) + ",\n";
+        out += "    \"phases\": [";
+        bool first = true;
+        for (const auto &row : rows) {
+            out += first ? "\n" : ",\n";
+            first = false;
+            out += "      {\"name\": " + json::str(row.name);
+            out += ", \"count\": " + json::u64(row.data.count);
+            out += ", \"p50_ns\": " +
+                   json::u64(static_cast<std::uint64_t>(
+                       row.data.quantile(0.50)));
+            out += ", \"p95_ns\": " +
+                   json::u64(static_cast<std::uint64_t>(
+                       row.data.quantile(0.95)));
+            out += ", \"max_ns\": " + json::u64(row.data.max);
+            out += ", \"total_ns\": " + json::u64(row.data.sum);
+            out += ", \"share_of_wall\": " +
+                   json::num(wall_ns == 0
+                                 ? 0.0
+                                 : static_cast<double>(row.data.sum) /
+                                       static_cast<double>(wall_ns));
+            out += "}";
+        }
+        out += "\n    ]\n  }\n}\n";
+        std::fputs(out.c_str(), stdout);
+        return 0;
+    }
+
+    std::printf("profiled %s under %s: %llu instructions in %.1f ms "
+                "wall\n",
+                bench.c_str(), controller.name.c_str(),
+                static_cast<unsigned long long>(stats.instructions),
+                static_cast<double>(wall_ns) / 1e6);
+    TextTable table("phase profile (nested: shares need not sum "
+                    "to 100%)");
+    table.setHeader({"phase", "count", "p50 (ns)", "p95 (ns)",
+                     "max (ns)", "total (ms)", "share of wall"});
+    for (const auto &row : rows) {
+        double share =
+            wall_ns == 0 ? 0.0
+                         : static_cast<double>(row.data.sum) /
+                               static_cast<double>(wall_ns);
+        table.addRow(
+            {row.name, std::to_string(row.data.count),
+             std::to_string(static_cast<std::uint64_t>(
+                 row.data.quantile(0.50))),
+             std::to_string(static_cast<std::uint64_t>(
+                 row.data.quantile(0.95))),
+             std::to_string(row.data.max),
+             num(static_cast<double>(row.data.sum) / 1e6, 2),
+             pct(share, 1)});
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}
+
 // ------------------------------------------------------------- serve
 
 serve::Server *g_server = nullptr;
@@ -609,12 +754,16 @@ serveCli(const std::vector<std::string> &args)
         } else if (arg == "--max-inflight") {
             options.maxInflight = static_cast<int>(
                 parseU64Flag("--max-inflight", value(i)));
+        } else if (arg == "--events") {
+            options.eventsPath = value(i);
         } else {
             mcd_fatal("serve: unknown argument '%s'", arg.c_str());
         }
     }
     if (options.socketPath.empty())
         mcd_fatal("serve needs --socket <path>");
+    if (options.eventsPath.empty())
+        options.eventsPath = envString("MCD_EVENTS");
 
     serve::Server server(options);
     g_server = &server;
@@ -715,7 +864,8 @@ int
 requestCli(const std::vector<std::string> &args)
 {
     std::string socket;
-    std::string op; // "", "ping", "stats", "shutdown", "tournament"
+    // "", "ping", "stats", "metrics", "shutdown", "tournament"
+    std::string op;
     std::vector<std::string> benches;
     std::string controller;
     std::string mode = "mcd";
@@ -743,7 +893,8 @@ requestCli(const std::vector<std::string> &args)
         if (arg == "--socket") {
             socket = value(i);
         } else if (arg == "--ping" || arg == "--stats" ||
-                   arg == "--shutdown" || arg == "--tournament") {
+                   arg == "--metrics" || arg == "--shutdown" ||
+                   arg == "--tournament") {
             set_op(arg.substr(2));
         } else if (arg == "--bench") {
             for (const auto &name : splitScenarioList(value(i)))
@@ -791,18 +942,21 @@ requestCli(const std::vector<std::string> &args)
     if (socket.empty())
         mcd_fatal("request needs --socket <path>");
     if (op.empty() && benches.empty())
-        mcd_fatal("request needs --ping, --stats, --shutdown, "
-                  "--tournament, or --bench <name>[,...]");
+        mcd_fatal("request needs --ping, --stats, --metrics, "
+                  "--shutdown, --tournament, or --bench <name>[,...]");
 
     serve::ServeClient client;
     std::string error;
     if (!client.connect(socket, &error))
         mcd_fatal("%s", error.c_str());
 
-    if (op == "ping" || op == "stats" || op == "shutdown") {
+    if (op == "ping" || op == "stats" || op == "metrics" ||
+        op == "shutdown") {
         std::string request = op == "ping" ? "{\"op\": \"ping\"}"
                               : op == "stats"
                                   ? "{\"op\": \"cache-stats\"}"
+                              : op == "metrics"
+                                  ? "{\"op\": \"metrics\"}"
                                   : "{\"op\": \"shutdown\"}";
         json::Value terminal;
         std::string raw;
@@ -996,9 +1150,17 @@ usage()
         "client\n"
         "                                   connections to a serve "
         "daemon\n"
+        "  mcd_cli profile <scenario> [--controller <spec>] [--json]\n"
+        "                                   run one experiment with "
+        "the\n"
+        "                                   phase profiler on and "
+        "report\n"
+        "                                   p50/p95/max and share of "
+        "wall\n"
+        "                                   per simulator phase\n"
         "  mcd_cli serve --socket <path> [--store <dir>] "
         "[--workers <n>]\n"
-        "              [--max-inflight <m>]\n"
+        "              [--max-inflight <m>] [--events <path>]\n"
         "                                   long-lived daemon: one "
         "warm\n"
         "                                   artifact cache + worker "
@@ -1007,10 +1169,15 @@ usage()
         "clients over\n"
         "                                   a Unix socket (run / "
         "tournament /\n"
-        "                                   cache-stats / ping / "
-        "shutdown)\n"
+        "                                   cache-stats / metrics / "
+        "ping /\n"
+        "                                   shutdown); --events "
+        "appends a\n"
+        "                                   JSONL lifecycle trace per "
+        "request\n"
         "  mcd_cli request --socket <path> (--ping | --stats | "
-        "--shutdown |\n"
+        "--metrics |\n"
+        "              --shutdown |\n"
         "              --tournament [--scenarios ...] "
         "[--controllers ...]\n"
         "              [--target-deg <frac>] |\n"
@@ -1052,6 +1219,7 @@ usage()
         "synthetic:square=4000,mem=0.5,gsm \\\n"
         "      --controllers \"attack_decay;"
         "attack_decay:reaction_change=0.12\"\n"
+        "  mcd_cli profile gsm --controller attack_decay --json\n"
         "  mcd_cli serve --socket /tmp/mcd.sock --store "
         "/tmp/mcd-store &\n"
         "  mcd_cli request --socket /tmp/mcd.sock --bench gsm,mcf\n"
@@ -1067,7 +1235,10 @@ usage()
         "             MCD_STORE (persistent artifact store root;\n"
         "             --store overrides), MCD_CHECKPOINT (checkpoint\n"
         "             ladder spacing in instructions;\n"
-        "             --checkpoint-every overrides)\n");
+        "             --checkpoint-every overrides), MCD_PROF=1 (phase\n"
+        "             profiler on for any tool), MCD_EVENTS (serve\n"
+        "             request-trace path; --events overrides),\n"
+        "             MCD_LOG_JSON=1 (structured JSON log lines)\n");
 }
 
 } // namespace
@@ -1088,6 +1259,8 @@ main(int argc, char **argv)
         return serveCli({args.begin() + 1, args.end()});
     if (args[0] == "request")
         return requestCli({args.begin() + 1, args.end()});
+    if (args[0] == "profile")
+        return profileCli({args.begin() + 1, args.end()});
 
     bool json = false;
     bool do_list = false;

@@ -20,6 +20,7 @@
  * as `BENCH_serve.json`.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -48,6 +49,35 @@ secondsSince(std::chrono::steady_clock::time_point start)
     return std::chrono::duration<double>(
                std::chrono::steady_clock::now() - start)
         .count();
+}
+
+/** Per-verb tail latencies. Nearest-rank on the sorted sample — the
+ *  same estimator the telemetry registry's histograms use, so the
+ *  bench numbers and a daemon's serve.request.* quantiles agree in
+ *  method if not in resolution. Sorts its argument. */
+struct Percentiles
+{
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+};
+
+Percentiles
+percentiles(std::vector<double> &samples)
+{
+    Percentiles p;
+    if (samples.empty())
+        return p;
+    std::sort(samples.begin(), samples.end());
+    auto at = [&](double q) {
+        std::size_t rank = static_cast<std::size_t>(
+            q * static_cast<double>(samples.size() - 1) + 0.5);
+        return samples[std::min(rank, samples.size() - 1)];
+    };
+    p.p50 = at(0.50);
+    p.p95 = at(0.95);
+    p.p99 = at(0.99);
+    return p;
 }
 
 /** Drive one `run` request to its terminal frame; counts results. */
@@ -138,22 +168,31 @@ main(int argc, char **argv)
         mcd_fatal("serve_bench could not connect: %s", error.c_str());
 
     // ---- ping round-trips: the protocol + dispatch floor.
+    std::vector<double> ping_lat;
+    ping_lat.reserve(static_cast<std::size_t>(pings));
     auto start = std::chrono::steady_clock::now();
     for (int i = 0; i < pings; ++i) {
+        auto t0 = std::chrono::steady_clock::now();
         json::Value terminal;
         if (!client.call("{\"op\": \"ping\"}", nullptr, terminal,
                          &error))
             mcd_fatal("ping failed: %s", error.c_str());
+        ping_lat.push_back(secondsSince(t0) * 1e6);
     }
     double ping_seconds = secondsSince(start);
 
     // ---- cold: every request carries a fresh clock seed, so each one
     // is a distinct spec and must simulate.
+    std::vector<double> cold_lat;
+    cold_lat.reserve(static_cast<std::size_t>(cold));
     start = std::chrono::steady_clock::now();
-    for (int i = 0; i < cold; ++i)
+    for (int i = 0; i < cold; ++i) {
+        auto t0 = std::chrono::steady_clock::now();
         drainRun(client,
                  "{\"op\": \"run\", \"benches\": [\"gsm\"], "
                  "\"seed\": " + std::to_string(1000 + i) + "}");
+        cold_lat.push_back(secondsSince(t0) * 1e6);
+    }
     double cold_seconds = secondsSince(start);
     std::uint64_t cold_sims = cache.simulationsRun();
 
@@ -161,9 +200,14 @@ main(int argc, char **argv)
     // request is a memory hit rendered and framed fresh.
     drainRun(client, "{\"op\": \"run\", \"benches\": [\"gsm\"]}");
     std::uint64_t sims_before_warm = cache.simulationsRun();
+    std::vector<double> warm_lat;
+    warm_lat.reserve(static_cast<std::size_t>(warm));
     start = std::chrono::steady_clock::now();
-    for (int i = 0; i < warm; ++i)
+    for (int i = 0; i < warm; ++i) {
+        auto t0 = std::chrono::steady_clock::now();
         drainRun(client, "{\"op\": \"run\", \"benches\": [\"gsm\"]}");
+        warm_lat.push_back(secondsSince(t0) * 1e6);
+    }
     double warm_seconds = secondsSince(start);
     if (cache.simulationsRun() != sims_before_warm)
         mcd_fatal("warm phase simulated (%llu -> %llu): cache broken",
@@ -180,6 +224,9 @@ main(int argc, char **argv)
     double ping_us = ping_seconds * 1e6 / pings;
     double cold_rps = cold / cold_seconds;
     double warm_rps = warm / warm_seconds;
+    Percentiles ping_p = percentiles(ping_lat);
+    Percentiles cold_p = percentiles(cold_lat);
+    Percentiles warm_p = percentiles(warm_lat);
 
     if (json) {
         std::printf(
@@ -192,12 +239,23 @@ main(int argc, char **argv)
             "    \"pings\": %d,\n"
             "    \"cold_requests\": %d,\n"
             "    \"warm_requests\": %d,\n"
-            "    \"cold_simulations\": %llu\n"
+            "    \"cold_simulations\": %llu,\n"
+            "    \"latency_us\": {\n"
+            "      \"ping\": {\"p50\": %.2f, \"p95\": %.2f, "
+            "\"p99\": %.2f},\n"
+            "      \"cold\": {\"p50\": %.2f, \"p95\": %.2f, "
+            "\"p99\": %.2f},\n"
+            "      \"warm\": {\"p50\": %.2f, \"p95\": %.2f, "
+            "\"p99\": %.2f}\n"
+            "    }\n"
             "  }\n"
             "}\n",
             ping_us, cold_rps, warm_rps, warm_rps / cold_rps, pings,
             cold, warm,
-            static_cast<unsigned long long>(cold_sims));
+            static_cast<unsigned long long>(cold_sims),
+            ping_p.p50, ping_p.p95, ping_p.p99,
+            cold_p.p50, cold_p.p95, cold_p.p99,
+            warm_p.p50, warm_p.p95, warm_p.p99);
     } else {
         std::printf("%-24s %12s\n", "measurement", "value");
         std::printf("%-24s %9.2f us\n", "ping round-trip", ping_us);
@@ -205,6 +263,15 @@ main(int argc, char **argv)
         std::printf("%-24s %9.2f /s\n", "warm requests", warm_rps);
         std::printf("%-24s %11.1fx\n", "warm over cold",
                     warm_rps / cold_rps);
+        std::printf("%-24s %9.2f / %.2f / %.2f us\n",
+                    "ping p50/p95/p99", ping_p.p50, ping_p.p95,
+                    ping_p.p99);
+        std::printf("%-24s %9.2f / %.2f / %.2f us\n",
+                    "cold p50/p95/p99", cold_p.p50, cold_p.p95,
+                    cold_p.p99);
+        std::printf("%-24s %9.2f / %.2f / %.2f us\n",
+                    "warm p50/p95/p99", warm_p.p50, warm_p.p95,
+                    warm_p.p99);
     }
     return 0;
 }

@@ -33,6 +33,7 @@
 #include "core/simulator.hh"
 #include "memory/cache.hh"
 #include "predictor/branch_predictor.hh"
+#include "telemetry/profiler.hh"
 #include "workload/benchmark_factory.hh"
 
 namespace
@@ -265,8 +266,127 @@ allBenches()
     return benches;
 }
 
+// -------------------------------------------------- telemetry cost
+
+/** Telemetry overhead measurement: what the always-compiled-in phase
+ *  probes cost with the profiler off (the shipped configuration) and
+ *  on. The off-path overhead is derived, not asserted: probe cost x
+ *  probe density / simulation cost, reported so CI's BENCH_sim.json
+ *  records the trajectory. */
+struct ProfileOverhead
+{
+    double nsPerDisabledProbe = 0.0;
+    double nsPerEnabledProbe = 0.0;
+    double probesPerInstruction = 0.0;
+    double nsPerInstructionOff = 0.0;
+    double itemsPerSecondOff = 0.0;
+    double itemsPerSecondOn = 0.0;
+    double overheadOffPercent = 0.0; //!< derived probe-cost estimate
+    double overheadOnPercent = 0.0;  //!< measured items/s delta
+};
+
+/** Cost of one ScopedTimer construct/destruct pair at the current
+ *  profiler setting. The escape asm keeps the otherwise side-effect-
+ *  free disabled timer from being optimized away. */
+double
+probeCostNs()
+{
+    using clock = std::chrono::steady_clock;
+    constexpr int N = 1 << 20;
+    double best = 1e18;
+    for (int rep = 0; rep < 3; ++rep) {
+        auto start = clock::now();
+        for (int i = 0; i < N; ++i) {
+            telemetry::ScopedTimer timer(telemetry::Phase::PoolTask);
+            asm volatile("" : : "r"(&timer) : "memory");
+        }
+        double s =
+            std::chrono::duration<double>(clock::now() - start)
+                .count();
+        best = std::min(best, s * 1e9 / N);
+    }
+    return best;
+}
+
+ProfileOverhead
+measureProfileOverhead(double min_seconds)
+{
+    ProfileOverhead p;
+
+    telemetry::setProfiling(false);
+    p.nsPerDisabledProbe = probeCostNs();
+    telemetry::setProfiling(true);
+    telemetry::resetPhaseHistograms();
+    p.nsPerEnabledProbe = probeCostNs();
+
+    // Simulator throughput, profiler off vs on, on the same workload
+    // as the SimulatorMcd benchmark. Histograms are reset after the
+    // warm-up batches so probe counts cover exactly the timed items.
+    auto simItemsPerSecond = [&](bool profiling,
+                                 std::uint64_t *items_out) {
+        telemetry::setProfiling(profiling);
+        auto workload = BenchmarkFactory::create("gsm", 1u << 22);
+        SimConfig config;
+        Simulator sim(config, *workload);
+        for (int i = 0; i < 3; ++i)
+            sim.run(1000);
+        telemetry::resetPhaseHistograms();
+        using clock = std::chrono::steady_clock;
+        std::uint64_t items = 0;
+        auto start = clock::now();
+        double seconds = 0.0;
+        do {
+            sim.run(1000);
+            items += 1000;
+            seconds =
+                std::chrono::duration<double>(clock::now() - start)
+                    .count();
+        } while (seconds < min_seconds);
+        if (items_out)
+            *items_out = items;
+        return static_cast<double>(items) / seconds;
+    };
+
+    p.itemsPerSecondOff = simItemsPerSecond(false, nullptr);
+    std::uint64_t items_on = 0;
+    p.itemsPerSecondOn = simItemsPerSecond(true, &items_on);
+
+    // Probe density: how many sim.* probes fired per instruction of
+    // the profiled run (issue/wakeup probes fire per cycle, so this
+    // exceeds the number of instrumented phases).
+    std::uint64_t probes = 0;
+    for (int ph = 0; ph < telemetry::NUM_PHASES; ++ph) {
+        auto phase = static_cast<telemetry::Phase>(ph);
+        if (std::strncmp(telemetry::phaseName(phase), "sim.", 4) != 0)
+            continue;
+        probes += telemetry::phaseHistogram(phase).read().count;
+    }
+    telemetry::setProfiling(false);
+    telemetry::resetPhaseHistograms();
+
+    p.probesPerInstruction =
+        items_on > 0
+            ? static_cast<double>(probes) /
+                  static_cast<double>(items_on)
+            : 0.0;
+    p.nsPerInstructionOff = p.itemsPerSecondOff > 0.0
+                                ? 1e9 / p.itemsPerSecondOff
+                                : 0.0;
+    p.overheadOffPercent =
+        p.nsPerInstructionOff > 0.0
+            ? 100.0 * p.nsPerDisabledProbe * p.probesPerInstruction /
+                  p.nsPerInstructionOff
+            : 0.0;
+    p.overheadOnPercent =
+        p.itemsPerSecondOn > 0.0
+            ? 100.0 * (p.itemsPerSecondOff / p.itemsPerSecondOn - 1.0)
+            : 0.0;
+    return p;
+}
+
 void
-printText(const std::vector<BenchResult> &results)
+printText(const std::vector<BenchResult> &results,
+          const ProfileOverhead &profile)
 {
     std::printf("%-28s %14s %16s %12s\n", "benchmark", "ns/op",
                 "items/s", "iterations");
@@ -274,10 +394,21 @@ printText(const std::vector<BenchResult> &results)
         std::printf("%-28s %14.1f %16.0f %12llu\n", r.name.c_str(),
                     nsPerItem(r), itemsPerSecond(r),
                     static_cast<unsigned long long>(r.iterations));
+    std::printf(
+        "\ntelemetry probes (always compiled in, gated on MCD_PROF):\n"
+        "  ns/probe off %.2f, on %.2f; %.2f probes/instruction\n"
+        "  estimated off-path overhead %.3f%% of %.1f ns/instruction\n"
+        "  measured on-path slowdown %.1f%% "
+        "(%.0f -> %.0f instructions/s)\n",
+        profile.nsPerDisabledProbe, profile.nsPerEnabledProbe,
+        profile.probesPerInstruction, profile.overheadOffPercent,
+        profile.nsPerInstructionOff, profile.overheadOnPercent,
+        profile.itemsPerSecondOff, profile.itemsPerSecondOn);
 }
 
 void
-printJson(const std::vector<BenchResult> &results)
+printJson(const std::vector<BenchResult> &results,
+          const ProfileOverhead &profile)
 {
     std::string out = "{\n  \"benchmarks\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
@@ -294,7 +425,22 @@ printJson(const std::vector<BenchResult> &results)
         out += buf;
         out += i + 1 < results.size() ? ",\n" : "\n";
     }
-    out += "  ]\n}\n";
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "  ],\n  \"profile\": {\"ns_per_disabled_probe\": %.4f, "
+        "\"ns_per_enabled_probe\": %.4f, "
+        "\"probes_per_instruction\": %.4f, "
+        "\"ns_per_instruction_off\": %.2f, "
+        "\"items_per_second_off\": %.1f, "
+        "\"items_per_second_on\": %.1f, "
+        "\"overhead_off_percent\": %.4f, "
+        "\"overhead_on_percent\": %.2f}\n}\n",
+        profile.nsPerDisabledProbe, profile.nsPerEnabledProbe,
+        profile.probesPerInstruction, profile.nsPerInstructionOff,
+        profile.itemsPerSecondOff, profile.itemsPerSecondOn,
+        profile.overheadOffPercent, profile.overheadOnPercent);
+    out += buf;
     std::fputs(out.c_str(), stdout);
 }
 
@@ -344,9 +490,11 @@ main(int argc, char **argv)
         results.push_back(run(bench, min_seconds));
     }
 
+    ProfileOverhead profile = measureProfileOverhead(min_seconds);
+
     if (json)
-        printJson(results);
+        printJson(results, profile);
     else
-        printText(results);
+        printText(results, profile);
     return 0;
 }

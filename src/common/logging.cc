@@ -1,7 +1,13 @@
 #include "common/logging.hh"
 
 #include <cstdarg>
+#include <cstdlib>
+#include <functional>
+#include <thread>
 #include <vector>
+
+#include "telemetry/events.hh"
+#include "telemetry/stat_registry.hh"
 
 namespace mcd
 {
@@ -13,6 +19,61 @@ namespace
 // entered on the thread that hits the fatal — the serve layer enters
 // one on each connection and worker thread it owns.
 thread_local int fatal_scope_depth = 0;
+
+// MCD_LOG_JSON=1 switches warn/inform to one-line JSON records so
+// daemon and fleet stderr is machine-parseable. Checked live (not
+// cached): log calls are never hot, and tests flip the variable.
+bool
+logJson()
+{
+    const char *v = std::getenv("MCD_LOG_JSON");
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+emitLog(std::FILE *stream, const char *level, const std::string &msg)
+{
+    if (!logJson()) {
+        std::fprintf(stream, "%s: %s\n", level, msg.c_str());
+        return;
+    }
+    std::fprintf(
+        stream,
+        "{\"ts\": %llu, \"level\": \"%s\", \"thread\": %llu, "
+        "\"msg\": \"%s\"}\n",
+        static_cast<unsigned long long>(telemetry::wallClockNs()),
+        level,
+        static_cast<unsigned long long>(
+            std::hash<std::thread::id>{}(std::this_thread::get_id())),
+        jsonEscape(msg).c_str());
+}
 
 } // namespace
 
@@ -61,13 +122,19 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    static telemetry::Counter &count =
+        telemetry::StatRegistry::instance().counter("log.warn");
+    count.inc();
+    emitLog(stderr, "warn", msg);
 }
 
 void
 informImpl(const std::string &msg)
 {
-    std::fprintf(stdout, "info: %s\n", msg.c_str());
+    static telemetry::Counter &count =
+        telemetry::StatRegistry::instance().counter("log.inform");
+    count.inc();
+    emitLog(stdout, "info", msg);
 }
 
 } // namespace logging_detail

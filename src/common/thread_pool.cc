@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "telemetry/profiler.hh"
+#include "telemetry/stat_registry.hh"
+
 namespace mcd
 {
 
@@ -58,7 +61,15 @@ ThreadPool::workerLoop()
         queue_.pop_front();
         ++running_;
         lock.unlock();
-        task();
+        {
+            static telemetry::Counter &tasks =
+                telemetry::StatRegistry::instance().counter(
+                    "pool.tasks");
+            tasks.inc();
+            telemetry::ScopedTimer timer(
+                telemetry::Phase::PoolTask);
+            task();
+        }
         lock.lock();
         --running_;
         if (queue_.empty() && running_ == 0)

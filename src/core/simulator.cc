@@ -4,12 +4,16 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "telemetry/profiler.hh"
 
 namespace mcd
 {
 
 namespace
 {
+
+using telemetry::Phase;
+using telemetry::ScopedTimer;
 
 /** Bumped whenever the checkpoint byte layout changes. */
 constexpr std::uint64_t CHECKPOINT_FORMAT = 1;
@@ -289,6 +293,10 @@ Simulator::frontEndTick(Tick edge)
 void
 Simulator::commitStage(Tick edge)
 {
+    // Profiler phases nest (the interval boundary fires inside this
+    // loop), so sim.commit's time includes sim.interval's — the
+    // breakdown is hierarchical, not a partition.
+    ScopedTimer timer(Phase::SimCommit);
     // No run-target ceiling here: a run may overshoot its commit target
     // by the tail of one retire group, which keeps stopping behavior-
     // free (runTo composes exactly, the checkpoint contract relies on
@@ -334,6 +342,7 @@ Simulator::commitStage(Tick edge)
 void
 Simulator::handleIntervalBoundary(Tick edge)
 {
+    ScopedTimer timer(Phase::SimInterval);
     flushPower();
 
     IntervalStats stats;
@@ -411,6 +420,7 @@ Simulator::resourcesAvailable(const MicroOp &op) const
 void
 Simulator::fetchAndDispatch(Tick edge)
 {
+    ScopedTimer timer(Phase::SimFetch);
     const CoreConfig &c = config_.core;
 
     if (state_.stallBranchSeq != NO_SEQ) {
@@ -595,6 +605,7 @@ void
 Simulator::processCompletions(std::vector<std::uint64_t> &exec_list,
                               DomainId domain, Tick edge)
 {
+    ScopedTimer timer(Phase::SimWakeup);
     for (std::size_t i = 0; i < exec_list.size();) {
         Inst &inst = state_.inst(exec_list[i]);
         if (inst.remainingCycles > 0)
@@ -641,6 +652,7 @@ Simulator::fpTick(Tick edge)
 void
 Simulator::issueInteger(Tick edge)
 {
+    ScopedTimer timer(Phase::SimIssueInt);
     const CoreConfig &c = config_.core;
     std::vector<std::uint64_t> &q = state_.intIq;
     int budget = c.intIssueWidth;
@@ -706,6 +718,7 @@ Simulator::issueInteger(Tick edge)
 void
 Simulator::issueFp(Tick edge)
 {
+    ScopedTimer timer(Phase::SimIssueFp);
     const CoreConfig &c = config_.core;
     std::vector<std::uint64_t> &q = state_.fpIq;
     int budget = c.fpIssueWidth;
@@ -837,6 +850,7 @@ Simulator::startDataAccess(Inst &inst, Tick edge, bool is_write)
 void
 Simulator::issueLoadStore(Tick edge)
 {
+    ScopedTimer timer(Phase::SimIssueLs);
     const CoreConfig &c = config_.core;
     int budget = c.memIssueWidth;
 
@@ -972,6 +986,7 @@ Simulator::resetMeasurement()
 void
 Simulator::saveCheckpoint(std::string &out) const
 {
+    ScopedTimer timer(Phase::CkptSave);
     serial::appendU64(out, CHECKPOINT_FORMAT);
     state_.saveState(out);
     clocks_.saveState(out);
@@ -996,6 +1011,7 @@ Simulator::saveCheckpoint(std::string &out) const
 bool
 Simulator::restoreCheckpoint(serial::Reader &in)
 {
+    ScopedTimer timer(Phase::CkptRestore);
     if (in.readU64() != CHECKPOINT_FORMAT)
         return false;
     if (!state_.loadState(in))

@@ -12,9 +12,36 @@
 
 #include "common/logging.hh"
 #include "common/serial.hh"
+#include "telemetry/profiler.hh"
+#include "telemetry/stat_registry.hh"
 
 namespace mcd
 {
+
+namespace
+{
+
+// Process-wide disk I/O counters: every DiskStore instance feeds the
+// same pair, so `metrics` reports total artifact-store traffic.
+telemetry::Counter &
+diskReadBytes()
+{
+    static telemetry::Counter &c =
+        telemetry::StatRegistry::instance().counter(
+            "store.disk.read_bytes");
+    return c;
+}
+
+telemetry::Counter &
+diskWriteBytes()
+{
+    static telemetry::Counter &c =
+        telemetry::StatRegistry::instance().counter(
+            "store.disk.write_bytes");
+    return c;
+}
+
+} // namespace
 
 namespace fs = std::filesystem;
 
@@ -213,11 +240,13 @@ DiskStore::sidecarPathFor(const std::string &key) const
 bool
 DiskStore::get(const std::string &key, std::string &blob)
 {
+    telemetry::ScopedTimer timer(telemetry::Phase::DiskRead);
     std::ifstream in(pathFor(key), std::ios::binary);
     if (!in)
         return false;
     std::string data((std::istreambuf_iterator<char>(in)),
                      std::istreambuf_iterator<char>());
+    diskReadBytes().inc(data.size());
     if (!in.good() && !in.eof())
         return false;
 
@@ -248,6 +277,7 @@ void
 DiskStore::put(const std::string &key, const std::string &blob,
                const std::string &provenance)
 {
+    telemetry::ScopedTimer timer(telemetry::Phase::DiskWrite);
     std::string data(MAGIC, sizeof(MAGIC));
     std::string body;
     serial::appendU64(body, FORMAT_VERSION);
@@ -257,6 +287,7 @@ DiskStore::put(const std::string &key, const std::string &blob,
     serial::appendU64(data, serial::fnv1a(data));
 
     atomicWrite(pathFor(key), data, /*fatal_on_error=*/true);
+    diskWriteBytes().inc(data.size());
 
     if (!provenance.empty()) {
         // The sidecar exists for humans and external tooling; losing

@@ -213,8 +213,34 @@ runExperiments(const std::vector<ExperimentSpec> &specs, int jobs)
 ArtifactCache &
 ArtifactCache::instance()
 {
-    static ArtifactCache *cache = new ArtifactCache();
+    static ArtifactCache *cache = [] {
+        auto *c = new ArtifactCache();
+        // Only the process-wide instance publishes into the registry:
+        // test-local caches (cold-process emulation) must not shadow
+        // the real metrics.
+        c->bindStats();
+        return c;
+    }();
     return *cache;
+}
+
+void
+ArtifactCache::bindStats()
+{
+    telemetry::StatRegistry &reg = telemetry::StatRegistry::instance();
+    reg.bindCounter("store.lookups", &lookups_);
+    reg.bindCounter("store.disk_hits", &disk_hits_);
+    reg.bindCounter("store.inflight_joins", &inflight_joins_);
+    reg.bindCounter("sim.runs", &sims_);
+    reg.bindCounter("sim.commit.insns", &sim_insns_);
+    reg.bindFn("store.hits", [this] { return hits(); });
+    reg.bindFn("store.memory_entries", [this] {
+        return static_cast<std::uint64_t>(size());
+    });
+    reg.bindFn("store.disk.entries", [this] {
+        return static_cast<std::uint64_t>(diskEntries());
+    });
+    reg.bindFn("store.disk.bytes", [this] { return diskBytes(); });
 }
 
 std::string
@@ -224,10 +250,10 @@ ArtifactCache::fetch(
     const std::function<std::string()> &build,
     const std::string &provenance)
 {
+    lookups_.inc();
     std::shared_ptr<Inflight> flight;
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        ++lookups_;
         auto &slot = inflight_[key];
         if (!slot)
             slot = std::make_shared<Inflight>();
@@ -251,16 +277,14 @@ ArtifactCache::fetch(
         }
         if (disk && disk->get(key, blob) && validate(blob)) {
             memory_.put(key, blob); // promote: never re-read disk
-            std::lock_guard<std::mutex> lock(mutex_);
-            ++disk_hits_;
+            disk_hits_.inc();
             return;
         }
         blob = build();
         memory_.put(key, blob);
         if (disk)
             disk->put(key, blob, provenance);
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++computes_;
+        computes_.inc();
     });
     // Resolved: retire the inflight slot so the map stays bounded by
     // concurrency, not by distinct keys ever requested. Late waiters
@@ -274,7 +298,7 @@ ArtifactCache::fetch(
         // (Post-resolution requests get a fresh slot and resolve it
         // themselves against the memory layer, so they never count.)
         if (!resolved_here)
-            ++inflight_joins_;
+            inflight_joins_.inc();
         auto it = inflight_.find(key);
         if (it != inflight_.end() && it->second == flight)
             inflight_.erase(it);
@@ -302,15 +326,13 @@ ArtifactCache::publish(const std::string &key, const std::string &blob,
 void
 ArtifactCache::noteSimulation()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++sims_;
+    sims_.inc();
 }
 
 void
 ArtifactCache::noteInstructions(std::uint64_t count)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    sim_insns_ += count;
+    sim_insns_.inc(count);
 }
 
 SimStats
@@ -422,29 +444,25 @@ ArtifactCache::detachDiskStore()
 std::uint64_t
 ArtifactCache::lookups() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return lookups_;
+    return lookups_.value();
 }
 
 std::uint64_t
 ArtifactCache::hits() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return lookups_ - computes_;
+    return lookups_.value() - computes_.value();
 }
 
 std::uint64_t
 ArtifactCache::diskHits() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return disk_hits_;
+    return disk_hits_.value();
 }
 
 std::uint64_t
 ArtifactCache::inflightJoins() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return inflight_joins_;
+    return inflight_joins_.value();
 }
 
 bool
@@ -464,15 +482,13 @@ ArtifactCache::cachedHint(const std::string &key)
 std::uint64_t
 ArtifactCache::simulationsRun() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return sims_;
+    return sims_.value();
 }
 
 std::uint64_t
 ArtifactCache::simulatedInstructions() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return sim_insns_;
+    return sim_insns_.value();
 }
 
 std::size_t
@@ -515,12 +531,34 @@ ArtifactCache::clear()
     std::lock_guard<std::mutex> lock(mutex_);
     inflight_.clear();
     memory_.clear();
-    lookups_ = 0;
-    computes_ = 0;
-    disk_hits_ = 0;
-    sims_ = 0;
-    sim_insns_ = 0;
-    inflight_joins_ = 0;
+    lookups_.reset();
+    computes_.reset();
+    disk_hits_.reset();
+    sims_.reset();
+    sim_insns_.reset();
+    inflight_joins_.reset();
+}
+
+std::string
+storeStatsLine(const ArtifactCache &cache)
+{
+    std::string line = logging_detail::format(
+        "store: lookups=%llu hits=%llu disk_hits=%llu "
+        "simulations=%llu instructions=%llu",
+        static_cast<unsigned long long>(cache.lookups()),
+        static_cast<unsigned long long>(cache.hits()),
+        static_cast<unsigned long long>(cache.diskHits()),
+        static_cast<unsigned long long>(cache.simulationsRun()),
+        static_cast<unsigned long long>(
+            cache.simulatedInstructions()));
+    std::string root = cache.storeRoot();
+    if (!root.empty())
+        line += logging_detail::format(
+            " disk_entries=%zu disk_bytes=%llu root=%s",
+            cache.diskEntries(),
+            static_cast<unsigned long long>(cache.diskBytes()),
+            root.c_str());
+    return line;
 }
 
 } // namespace mcd

@@ -50,6 +50,7 @@
 #include "harness/artifact.hh"
 #include "harness/artifact_store.hh"
 #include "harness/runner.hh"
+#include "telemetry/stat_registry.hh"
 
 namespace mcd
 {
@@ -335,6 +336,11 @@ class ArtifactCache
     void publish(const std::string &key, const std::string &blob,
                  const std::string &provenance);
 
+    /** Publish this instance's counters in the process StatRegistry
+     *  under `store.*` / `sim.*` — instance() does this once, so
+     *  test-local caches stay out of the process metrics. */
+    void bindStats();
+
     mutable std::mutex mutex_;
     std::unordered_map<std::string, std::shared_ptr<Inflight>>
         inflight_;
@@ -343,13 +349,27 @@ class ArtifactCache
     // across a long build even if attach/detachDiskStore swaps it out
     // concurrently.
     std::shared_ptr<DiskStore> disk_;
-    std::uint64_t lookups_ = 0;
-    std::uint64_t computes_ = 0;
-    std::uint64_t disk_hits_ = 0;
-    std::uint64_t sims_ = 0;
-    std::uint64_t sim_insns_ = 0;
-    std::uint64_t inflight_joins_ = 0;
+    // Counters are atomics (telemetry::Counter) so reads never take
+    // mutex_ and the StatRegistry can expose them as bound views.
+    telemetry::Counter lookups_;
+    telemetry::Counter computes_;
+    telemetry::Counter disk_hits_;
+    telemetry::Counter sims_;
+    telemetry::Counter sim_insns_;
+    telemetry::Counter inflight_joins_;
 };
+
+/**
+ * The canonical `store:` stderr status line, e.g.
+ *   store: lookups=12 hits=4 disk_hits=2 simulations=8
+ *          instructions=160000 disk_entries=8 disk_bytes=4096
+ *          root=/tmp/store
+ * (one line; disk fields only with a disk layer attached). Every
+ * call site — figure binaries, fleet workers, the serve daemon —
+ * renders through here so the fields can't drift apart from the
+ * counters or from fleet's worker-stderr parser.
+ */
+std::string storeStatsLine(const ArtifactCache &cache);
 
 } // namespace mcd
 

@@ -60,10 +60,25 @@ Server::Connection::~Connection()
         ::close(fd);
 }
 
-Server::Server(ServeOptions options) : options_(std::move(options))
+Server::Server(ServeOptions options)
+    : options_(std::move(options)), events_(options_.eventsPath)
 {
     if (options_.socketPath.empty())
         mcd_fatal("serve needs a socket path (--socket)");
+
+    // Publish the daemon counters under serve.* (latest server wins;
+    // tests construct servers sequentially) and grab the request
+    // latency histograms once.
+    telemetry::StatRegistry &reg = telemetry::StatRegistry::instance();
+    reg.bindCounter("serve.requests", &requests_);
+    reg.bindCounter("serve.run_requests", &runRequests_);
+    reg.bindCounter("serve.units_executed", &unitsExecuted_);
+    reg.bindCounter("serve.cold_units", &coldUnits_);
+    reg.bindCounter("serve.warm_units", &warmUnits_);
+    reg.bindCounter("serve.rejected", &rejected_);
+    reg.bindCounter("serve.bad_requests", &badRequests_);
+    queueNs_ = &reg.histogram("serve.request.queue_ns");
+    execNs_ = &reg.histogram("serve.request.exec_ns");
 
     sockaddr_un addr{};
     if (options_.socketPath.size() >= sizeof(addr.sun_path))
@@ -113,6 +128,12 @@ Server::Server(ServeOptions options) : options_(std::move(options))
 
 Server::~Server()
 {
+    telemetry::StatRegistry &reg = telemetry::StatRegistry::instance();
+    for (const char *path :
+         {"serve.requests", "serve.run_requests",
+          "serve.units_executed", "serve.cold_units",
+          "serve.warm_units", "serve.rejected", "serve.bad_requests"})
+        reg.unbind(path);
     if (stopPipe_[0] >= 0)
         ::close(stopPipe_[0]);
     if (stopPipe_[1] >= 0)
@@ -133,8 +154,27 @@ Server::cache() const
 ServeStats
 Server::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return stats_;
+    ServeStats s;
+    s.requests = requests_.value();
+    s.runRequests = runRequests_.value();
+    s.unitsExecuted = unitsExecuted_.value();
+    s.coldUnits = coldUnits_.value();
+    s.warmUnits = warmUnits_.value();
+    s.rejected = rejected_.value();
+    s.badRequests = badRequests_.value();
+    return s;
+}
+
+void
+Server::traceEvent(std::uint64_t id, const char *event,
+                   const std::string &extra)
+{
+    if (!events_.enabled())
+        return;
+    events_.append("{\"ts\": " +
+                   json::u64(telemetry::wallClockNs()) +
+                   ", \"id\": " + json::u64(id) + ", \"event\": \"" +
+                   event + "\"" + extra + "}");
 }
 
 void
@@ -245,10 +285,7 @@ Server::serveConnection(const std::shared_ptr<Connection> &conn)
         if (status == FrameStatus::TooLarge) {
             // The unread payload leaves the stream unsynchronized;
             // reject and hang up.
-            {
-                std::lock_guard<std::mutex> lock(mutex_);
-                ++stats_.badRequests;
-            }
+            badRequests_.inc();
             replyError(conn, "too-large",
                        "frame exceeds the " +
                            std::to_string(kMaxFrameBytes) +
@@ -265,10 +302,7 @@ Server::serveConnection(const std::shared_ptr<Connection> &conn)
         std::string parse_error;
         if (!json::parse(payload, request, &parse_error) ||
             !request.isObject()) {
-            {
-                std::lock_guard<std::mutex> lock(mutex_);
-                ++stats_.badRequests;
-            }
+            badRequests_.inc();
             // An intact frame with bad JSON is the client's bug, not
             // a framing failure: reply and keep the connection.
             replyError(conn, "bad-request",
@@ -281,10 +315,7 @@ Server::serveConnection(const std::shared_ptr<Connection> &conn)
         try {
             keep = handleRequest(conn, request);
         } catch (const FatalError &e) {
-            {
-                std::lock_guard<std::mutex> lock(mutex_);
-                ++stats_.badRequests;
-            }
+            badRequests_.inc();
             replyError(conn, "bad-request", e.what());
         } catch (const std::exception &e) {
             replyError(conn, "internal", e.what());
@@ -304,15 +335,27 @@ bool
 Server::handleRequest(const std::shared_ptr<Connection> &conn,
                       const json::Value &request)
 {
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.requests;
-    }
+    requests_.inc();
+    std::uint64_t id = nextRequestId_.fetch_add(1) + 1;
 
     std::string op = request.getString("op");
+    traceEvent(id, "accepted", ", \"op\": " + json::str(op));
+
     if (op == "ping") {
         reply(conn, "{\"event\": \"pong\", \"protocol\": " +
                         json::u64(kProtocolVersion) + "}");
+        traceEvent(id, "done");
+        return true;
+    }
+    if (op == "metrics") {
+        // The full registry snapshot: sim/store counters from the
+        // ArtifactCache bindings, pool.tasks, serve.* from this
+        // server, prof.* histograms when profiling ran.
+        std::string stats = telemetry::StatRegistry::renderJson(
+            telemetry::StatRegistry::instance().snapshot());
+        reply(conn, "{\"event\": \"metrics\", \"stats\": " + stats +
+                        "}");
+        traceEvent(id, "done");
         return true;
     }
     if (op == "cache-stats") {
@@ -340,42 +383,44 @@ Server::handleRequest(const std::shared_ptr<Connection> &conn,
         reply(conn, "{\"event\": \"stats\", \"cache\": " +
                         cacheStatsJson(cache()) +
                         ", \"serve\": " + serve + "}");
+        traceEvent(id, "done");
         return true;
     }
     if (op == "shutdown") {
         reply(conn, "{\"event\": \"shutdown\"}");
+        traceEvent(id, "done");
         requestStop();
         return false;
     }
     if (op == "run")
-        return handleRun(conn, request);
+        return handleRun(conn, request, id);
     if (op == "tournament")
-        return handleTournament(conn, request);
+        return handleTournament(conn, request, id);
 
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.badRequests;
-    }
+    badRequests_.inc();
+    traceEvent(id, "error", ", \"code\": \"bad-request\"");
     replyError(conn, "bad-request", "unknown op '" + op + "'");
     return true;
 }
 
 bool
 Server::handleRun(const std::shared_ptr<Connection> &conn,
-                  const json::Value &request)
+                  const json::Value &request, std::uint64_t id)
 {
+    auto failRequest = [&](const std::string &message) {
+        badRequests_.inc();
+        traceEvent(id, "error", ", \"code\": \"bad-request\"");
+        replyError(conn, "bad-request", message);
+        return true;
+    };
+
     // ---- validate everything before admitting anything. Registry
     // lookups that are fatal on bad input run here, on the scoped
     // connection thread, where fatal throws (caught by our caller into
     // a bad-request reply) — never on a pool worker mid-stream.
     const json::Value *benches = request.get("benches");
-    if (!benches || !benches->isArray() || benches->array.empty()) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.badRequests;
-        replyError(conn, "bad-request",
-                   "run needs a non-empty \"benches\" array");
-        return true;
-    }
+    if (!benches || !benches->isArray() || benches->array.empty())
+        return failRequest("run needs a non-empty \"benches\" array");
 
     RunnerConfig config = options_.config;
     config.instructions =
@@ -385,36 +430,22 @@ Server::handleRun(const std::shared_ptr<Connection> &conn,
         "interval",
         static_cast<std::uint64_t>(config.intervalInstructions)));
     config.clockSeed = request.getU64("seed", config.clockSeed);
-    if (config.instructions == 0 || config.intervalInstructions <= 0) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.badRequests;
-        replyError(conn, "bad-request",
-                   "\"instructions\" and \"interval\" must be "
-                   "positive");
-        return true;
-    }
+    if (config.instructions == 0 || config.intervalInstructions <= 0)
+        return failRequest("\"instructions\" and \"interval\" must be "
+                           "positive");
 
     ClockMode mode = ClockMode::Mcd;
     std::string mode_text = request.getString("mode", "mcd");
     if (mode_text == "sync")
         mode = ClockMode::Synchronous;
-    else if (mode_text != "mcd") {
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.badRequests;
-        replyError(conn, "bad-request",
-                   "\"mode\" must be \"mcd\" or \"sync\", not \"" +
-                       mode_text + "\"");
-        return true;
-    }
+    else if (mode_text != "mcd")
+        return failRequest(
+            "\"mode\" must be \"mcd\" or \"sync\", not \"" +
+            mode_text + "\"");
 
     Hertz freq = request.getNumber("freq", 0.0);
-    if (freq < 0.0) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.badRequests;
-        replyError(conn, "bad-request",
-                   "\"freq\" must be non-negative");
-        return true;
-    }
+    if (freq < 0.0)
+        return failRequest("\"freq\" must be non-negative");
 
     // parseControllerSpec and create() are fatal on malformed text /
     // unknown names / bad params; under the connection thread's scope
@@ -427,20 +458,12 @@ Server::handleRun(const std::shared_ptr<Connection> &conn,
 
     std::vector<ExperimentSpec> specs;
     for (const json::Value &entry : benches->array) {
-        if (!entry.isString()) {
-            std::lock_guard<std::mutex> lock(mutex_);
-            ++stats_.badRequests;
-            replyError(conn, "bad-request",
-                       "\"benches\" entries must be scenario names");
-            return true;
-        }
-        if (!ScenarioRegistry::instance().contains(entry.string)) {
-            std::lock_guard<std::mutex> lock(mutex_);
-            ++stats_.badRequests;
-            replyError(conn, "bad-request",
-                       "unknown scenario '" + entry.string + "'");
-            return true;
-        }
+        if (!entry.isString())
+            return failRequest(
+                "\"benches\" entries must be scenario names");
+        if (!ScenarioRegistry::instance().contains(entry.string))
+            return failRequest("unknown scenario '" + entry.string +
+                               "'");
         // Family instances parse their knobs here — eagerly, so a bad
         // knob is a bad-request now rather than a fatal inside a
         // worker (or a nested sweep thread) later.
@@ -455,6 +478,9 @@ Server::handleRun(const std::shared_ptr<Connection> &conn,
         specs.push_back(std::move(spec));
     }
 
+    traceEvent(id, "validated",
+               ", \"units\": " + json::u64(specs.size()));
+
     // ---- admission: all-or-nothing against the in-flight bound, so
     // a rejected run never interleaves an `overloaded` error into a
     // partially admitted result stream.
@@ -462,10 +488,9 @@ Server::handleRun(const std::shared_ptr<Connection> &conn,
     int current = inflightUnits_.load();
     do {
         if (current + units > options_.maxInflight) {
-            {
-                std::lock_guard<std::mutex> lock(mutex_);
-                ++stats_.rejected;
-            }
+            rejected_.inc();
+            traceEvent(id, "error",
+                       ", \"code\": \"overloaded\"");
             replyError(conn, "overloaded",
                        std::to_string(units) + " units would exceed "
                        "the in-flight bound of " +
@@ -475,10 +500,7 @@ Server::handleRun(const std::shared_ptr<Connection> &conn,
         }
     } while (!inflightUnits_.compare_exchange_weak(current,
                                                    current + units));
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.runRequests;
-    }
+    runRequests_.inc();
 
     struct RunState
     {
@@ -488,13 +510,35 @@ Server::handleRun(const std::shared_ptr<Connection> &conn,
         std::size_t ok = 0;
         std::uint64_t cold = 0;
         std::uint64_t warm = 0;
+        std::uint64_t bytes = 0;    //!< result-frame payload bytes
+        bool executing = false;     //!< first unit started
+        bool streaming = false;     //!< first result frame written
     };
     auto state = std::make_shared<RunState>();
     std::size_t total = specs.size();
+    auto queued_at = std::chrono::steady_clock::now();
+    traceEvent(id, "queued");
 
     for (std::size_t i = 0; i < specs.size(); ++i) {
-        pool_->submit([this, conn, state, spec = specs[i], i] {
+        pool_->submit([this, conn, state, queued_at, id,
+                       spec = specs[i], i] {
             FatalErrorScope worker_scope;
+            {
+                std::lock_guard<std::mutex> lock(state->m);
+                if (!state->executing) {
+                    state->executing = true;
+                    auto wait_ns = static_cast<std::uint64_t>(
+                        std::chrono::duration_cast<
+                            std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() -
+                            queued_at)
+                            .count());
+                    queueNs_->record(wait_ns);
+                    traceEvent(id, "executing",
+                               ", \"queue_wait_ns\": " +
+                                   json::u64(wait_ns));
+                }
+            }
             bool cold = !cache().cachedHint(spec.cacheKey());
             bool ok = false;
             std::string out;
@@ -513,15 +557,17 @@ Server::handleRun(const std::shared_ptr<Connection> &conn,
             }
             reply(conn, out);
             inflightUnits_.fetch_sub(1);
-            {
-                std::lock_guard<std::mutex> lock(mutex_);
-                ++stats_.unitsExecuted;
-                if (cold)
-                    ++stats_.coldUnits;
-                else
-                    ++stats_.warmUnits;
-            }
+            unitsExecuted_.inc();
+            if (cold)
+                coldUnits_.inc();
+            else
+                warmUnits_.inc();
             std::lock_guard<std::mutex> lock(state->m);
+            state->bytes += out.size();
+            if (!state->streaming) {
+                state->streaming = true;
+                traceEvent(id, "streaming");
+            }
             ++state->done;
             if (ok)
                 ++state->ok;
@@ -541,42 +587,49 @@ Server::handleRun(const std::shared_ptr<Connection> &conn,
                     json::u64(state->ok) + ", \"cold_units\": " +
                     json::u64(state->cold) + ", \"warm_units\": " +
                     json::u64(state->warm) + "}");
+    auto exec_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - queued_at)
+            .count());
+    execNs_->record(exec_ns);
+    traceEvent(id, "done",
+               ", \"exec_ns\": " + json::u64(exec_ns) +
+                   ", \"results\": " + json::u64(state->ok) +
+                   ", \"cold_units\": " + json::u64(state->cold) +
+                   ", \"warm_units\": " + json::u64(state->warm) +
+                   ", \"bytes_streamed\": " +
+                   json::u64(state->bytes));
     return true;
 }
 
 bool
 Server::handleTournament(const std::shared_ptr<Connection> &conn,
-                         const json::Value &request)
+                         const json::Value &request, std::uint64_t id)
 {
+    auto failRequest = [&](const std::string &message) {
+        badRequests_.inc();
+        traceEvent(id, "error", ", \"code\": \"bad-request\"");
+        replyError(conn, "bad-request", message);
+        return true;
+    };
+
     TournamentOptions opts;
     opts.config = options_.config;
     opts.targetDeg = request.getNumber("target_deg", 0.05);
-    if (opts.targetDeg < 0.0 || opts.targetDeg > 1.0) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.badRequests;
-        replyError(conn, "bad-request",
-                   "\"target_deg\" must be a fraction in [0, 1]");
-        return true;
-    }
+    if (opts.targetDeg < 0.0 || opts.targetDeg > 1.0)
+        return failRequest(
+            "\"target_deg\" must be a fraction in [0, 1]");
 
     const json::Value *scenarios = request.get("scenarios");
     if (scenarios) {
-        if (!scenarios->isArray()) {
-            std::lock_guard<std::mutex> lock(mutex_);
-            ++stats_.badRequests;
-            replyError(conn, "bad-request",
-                       "\"scenarios\" must be an array of names");
-            return true;
-        }
+        if (!scenarios->isArray())
+            return failRequest(
+                "\"scenarios\" must be an array of names");
         for (const json::Value &entry : scenarios->array) {
             if (!entry.isString() ||
-                !ScenarioRegistry::instance().contains(entry.string)) {
-                std::lock_guard<std::mutex> lock(mutex_);
-                ++stats_.badRequests;
-                replyError(conn, "bad-request",
-                           "unknown scenario in \"scenarios\"");
-                return true;
-            }
+                !ScenarioRegistry::instance().contains(entry.string))
+                return failRequest(
+                    "unknown scenario in \"scenarios\"");
             ScenarioRegistry::instance().spec(entry.string); // knobs
             opts.scenarios.push_back(entry.string);
         }
@@ -586,22 +639,13 @@ Server::handleTournament(const std::shared_ptr<Connection> &conn,
 
     const json::Value *controllers = request.get("controllers");
     if (controllers) {
-        if (!controllers->isArray()) {
-            std::lock_guard<std::mutex> lock(mutex_);
-            ++stats_.badRequests;
-            replyError(conn, "bad-request",
-                       "\"controllers\" must be an array of specs");
-            return true;
-        }
+        if (!controllers->isArray())
+            return failRequest(
+                "\"controllers\" must be an array of specs");
         for (const json::Value &entry : controllers->array) {
-            if (!entry.isString()) {
-                std::lock_guard<std::mutex> lock(mutex_);
-                ++stats_.badRequests;
-                replyError(conn, "bad-request",
-                           "\"controllers\" entries must be "
-                           "controller spec strings");
-                return true;
-            }
+            if (!entry.isString())
+                return failRequest("\"controllers\" entries must be "
+                                   "controller spec strings");
             TournamentEntry te;
             te.label = entry.string;
             te.spec = parseControllerSpec(entry.string); // may throw
@@ -614,13 +658,14 @@ Server::handleTournament(const std::shared_ptr<Connection> &conn,
 
     int units = static_cast<int>(opts.scenarios.size() *
                                  opts.controllers.size());
+    traceEvent(id, "validated",
+               ", \"units\": " +
+                   json::u64(static_cast<std::uint64_t>(units)));
     int current = inflightUnits_.load();
     do {
         if (current + units > options_.maxInflight) {
-            {
-                std::lock_guard<std::mutex> lock(mutex_);
-                ++stats_.rejected;
-            }
+            rejected_.inc();
+            traceEvent(id, "error", ", \"code\": \"overloaded\"");
             replyError(conn, "overloaded",
                        std::to_string(units) + " tournament cells "
                        "would exceed the in-flight bound of " +
@@ -629,10 +674,10 @@ Server::handleTournament(const std::shared_ptr<Connection> &conn,
         }
     } while (!inflightUnits_.compare_exchange_weak(current,
                                                    current + units));
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.runRequests;
-    }
+    runRequests_.inc();
+    auto queued_at = std::chrono::steady_clock::now();
+    traceEvent(id, "queued");
+    traceEvent(id, "executing", ", \"queue_wait_ns\": 0");
 
     // The tournament runs on this connection thread: it is a batch
     // product with its own internal parallelism (nested sweeps via
@@ -651,26 +696,32 @@ Server::handleTournament(const std::shared_ptr<Connection> &conn,
               ", \"payload\": " +
               json::str(renderTournamentJson(opts, result)) + "}";
         reply(conn, out);
+        traceEvent(id, "streaming");
         inflightUnits_.fetch_sub(units);
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            stats_.unitsExecuted +=
-                static_cast<std::uint64_t>(units);
-            if (cold)
-                ++stats_.coldUnits;
-            else
-                ++stats_.warmUnits;
-        }
+        unitsExecuted_.inc(static_cast<std::uint64_t>(units));
+        if (cold)
+            coldUnits_.inc();
+        else
+            warmUnits_.inc();
         reply(conn, std::string("{\"event\": \"done\", \"results\": "
                                 "1, \"cold_units\": ") +
                         (cold ? "1" : "0") + ", \"warm_units\": " +
                         (cold ? "0" : "1") + "}");
+        auto exec_ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - queued_at)
+                .count());
+        execNs_->record(exec_ns);
+        traceEvent(id, "done",
+                   ", \"exec_ns\": " + json::u64(exec_ns) +
+                       ", \"results\": 1, \"cold_units\": " +
+                       (cold ? "1" : "0") + ", \"warm_units\": " +
+                       (cold ? "0" : "1") + ", \"bytes_streamed\": " +
+                       json::u64(out.size()));
     } catch (const std::exception &e) {
         inflightUnits_.fetch_sub(units);
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            ++stats_.badRequests;
-        }
+        badRequests_.inc();
+        traceEvent(id, "error", ", \"code\": \"bad-request\"");
         replyError(conn, "bad-request", e.what());
     }
     return true;

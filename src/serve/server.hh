@@ -61,6 +61,8 @@
 #include "common/json.hh"
 #include "common/thread_pool.hh"
 #include "harness/experiment.hh"
+#include "telemetry/events.hh"
+#include "telemetry/stat_registry.hh"
 
 namespace mcd::serve
 {
@@ -91,6 +93,12 @@ struct ServeOptions
      *  Tests inject private instances; note the `tournament` verb's
      *  eval machinery always resolves through instance(). */
     ArtifactCache *cache = nullptr;
+
+    /** JSONL request-trace path (`--events` / MCD_EVENTS). Every
+     *  request id appends its lifecycle events (accepted → validated
+     *  → queued → executing → streaming → done/error) here; empty
+     *  disables tracing. */
+    std::string eventsPath;
 };
 
 /** Daemon-level counters, reported in the `stats` reply's "serve"
@@ -155,9 +163,16 @@ class Server
                        const json::Value &request);
 
     bool handleRun(const std::shared_ptr<Connection> &conn,
-                   const json::Value &request);
+                   const json::Value &request, std::uint64_t id);
     bool handleTournament(const std::shared_ptr<Connection> &conn,
-                          const json::Value &request);
+                          const json::Value &request,
+                          std::uint64_t id);
+
+    /** Append one lifecycle event line for request `id`; `extra` is
+     *  either empty or `, "key": value` JSON tail text. No-op when
+     *  tracing is disabled. */
+    void traceEvent(std::uint64_t id, const char *event,
+                    const std::string &extra = "");
 
     /** Write one reply frame; clears `alive` on failure. */
     void reply(const std::shared_ptr<Connection> &conn,
@@ -173,8 +188,21 @@ class Server
 
     std::unique_ptr<ThreadPool> pool_;
 
-    mutable std::mutex mutex_; //!< guards stats_, connections_, threads_
-    ServeStats stats_;
+    mutable std::mutex mutex_; //!< guards connections_, threads_
+    // Daemon counters as atomics, bound into the StatRegistry under
+    // serve.* by the constructor (latest server wins; the destructor
+    // unbinds). stats() assembles the legacy ServeStats copy.
+    telemetry::Counter requests_;
+    telemetry::Counter runRequests_;
+    telemetry::Counter unitsExecuted_;
+    telemetry::Counter coldUnits_;
+    telemetry::Counter warmUnits_;
+    telemetry::Counter rejected_;
+    telemetry::Counter badRequests_;
+    telemetry::Histogram *queueNs_ = nullptr; //!< serve.request.queue_ns
+    telemetry::Histogram *execNs_ = nullptr;  //!< serve.request.exec_ns
+    telemetry::EventLog events_;
+    std::atomic<std::uint64_t> nextRequestId_{0};
     std::atomic<int> inflightUnits_{0};
     std::vector<std::shared_ptr<Connection>> connections_;
     std::vector<std::thread> threads_;
